@@ -1,0 +1,56 @@
+// Accelerator trace: runs one real attention instance — captured from the
+// demo model's decode — through the cycle-level ToPick simulator in all
+// four hardware configurations and prints the per-config timeline metrics:
+// cycles, DRAM traffic, row hit rate, lane utilization, and the energy
+// breakdown. This is the paper's Fig. 10 at the granularity of a single
+// instance, including the in-order ablation that shows why out-of-order
+// score calculation (§3.2) is what makes on-demand chunked K fetches
+// viable.
+package main
+
+import (
+	"fmt"
+
+	"tokenpicker"
+	"tokenpicker/internal/bench"
+	"tokenpicker/internal/train"
+)
+
+func main() {
+	res := tokenpicker.TrainDemoModel()
+	opts := bench.Quick()
+	opts.TrainOpts = train.QuickOptions()
+	traces := bench.CaptureTraces(res, opts)
+	if len(traces) == 0 {
+		fmt.Println("no traces captured")
+		return
+	}
+	inst := traces[len(traces)-1] // longest context
+	fmt.Printf("instance: %d cached tokens, head dim %d\n\n", len(inst.In.K), inst.Dim)
+
+	var baseCycles int64
+	modes := []struct {
+		name string
+		sim  *tokenpicker.AccelSim
+	}{
+		{"baseline (all KV streamed)", tokenpicker.NewAccelSim(tokenpicker.ModeBaseline, 0)},
+		{"prob-est (V pruning only)", tokenpicker.NewAccelSim(tokenpicker.ModeProbEst, 1e-3)},
+		{"ToPick (chunked K + OoO)", tokenpicker.NewAccelSim(tokenpicker.ModeToPick, 1e-3)},
+		{"in-order ablation", tokenpicker.NewAccelSim(tokenpicker.ModeToPickInOrder, 1e-3)},
+	}
+	for i, m := range modes {
+		r := m.sim.RunInstance(inst)
+		if i == 0 {
+			baseCycles = r.Cycles
+		}
+		hitRate := 0.0
+		if t := r.DRAM.RowHits + r.DRAM.RowMisses; t > 0 {
+			hitRate = float64(r.DRAM.RowHits) / float64(t)
+		}
+		fmt.Printf("%s\n", m.name)
+		fmt.Printf("  cycles      : %6d  (%.2fx vs baseline)\n", r.Cycles, float64(baseCycles)/float64(r.Cycles))
+		fmt.Printf("  K bytes     : %6d   V bytes: %d   kept %d/%d\n", r.KBytes, r.VBytes, r.Kept, r.N)
+		fmt.Printf("  row hits    : %6.0f%%  lane util: %.2f\n", 100*hitRate, r.Utilization(16))
+		fmt.Printf("  energy      : %s\n\n", r.Energy.String())
+	}
+}

@@ -1,0 +1,340 @@
+// Package attention provides the model.Kernel implementations compared in
+// the paper's evaluation: exact float attention, 12-bit quantized exact
+// attention (the non-pruning accelerator's arithmetic), the Token-Picker
+// estimator kernel, and an oracle pruner that bounds what any
+// probability-threshold method could achieve. Every kernel tracks the
+// off-chip traffic it would have generated so perplexity and memory-access
+// numbers come from the same code path.
+package attention
+
+import (
+	"math"
+
+	"tokenpicker/internal/core"
+	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/tensor"
+)
+
+// Stats accumulates transfer accounting across Attend calls.
+type Stats struct {
+	Instances int64 // attention instances (query x layer x head)
+	Tokens    int64 // context tokens summed over instances
+	Kept      int64 // tokens whose V was fetched
+	// ChunkFetches[b] counts K chunk-b vector fetches (Token-Picker only).
+	ChunkFetches []int64
+	KBytes       int64 // key bytes fetched
+	VBytes       int64 // value bytes fetched
+	// Baseline bytes: what a non-pruning design moves for the same calls.
+	BaselineKBytes int64
+	BaselineVBytes int64
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Instances += other.Instances
+	s.Tokens += other.Tokens
+	s.Kept += other.Kept
+	for len(s.ChunkFetches) < len(other.ChunkFetches) {
+		s.ChunkFetches = append(s.ChunkFetches, 0)
+	}
+	for b, v := range other.ChunkFetches {
+		s.ChunkFetches[b] += v
+	}
+	s.KBytes += other.KBytes
+	s.VBytes += other.VBytes
+	s.BaselineKBytes += other.BaselineKBytes
+	s.BaselineVBytes += other.BaselineVBytes
+}
+
+// PruningRatio returns tokens/kept (the paper's V-access reduction factor).
+func (s *Stats) PruningRatio() float64 {
+	if s.Kept == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.Tokens) / float64(s.Kept)
+}
+
+// KReduction returns baseline K bytes / fetched K bytes.
+func (s *Stats) KReduction() float64 {
+	if s.KBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.BaselineKBytes) / float64(s.KBytes)
+}
+
+// TotalReduction returns baseline (K+V) bytes / fetched (K+V) bytes.
+func (s *Stats) TotalReduction() float64 {
+	moved := s.KBytes + s.VBytes
+	if moved == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.BaselineKBytes+s.BaselineVBytes) / float64(moved)
+}
+
+// quantScratch reusably quantizes a query and the rows of the K/V caches
+// with shared per-call scales.
+type quantScratch struct {
+	kRows  []fixed.Vector
+	kBack  []int16
+	vRows  []fixed.Vector
+	vBack  []int16
+	bias   []float32
+	probsF []float64
+}
+
+func (qs *quantScratch) ensure(n, dim int) {
+	if cap(qs.kBack) < n*dim {
+		qs.kBack = make([]int16, n*dim)
+		qs.vBack = make([]int16, n*dim)
+		qs.kRows = make([]fixed.Vector, n)
+		qs.vRows = make([]fixed.Vector, n)
+		qs.bias = make([]float32, n)
+		qs.probsF = make([]float64, n)
+	}
+	qs.kRows = qs.kRows[:n]
+	qs.vRows = qs.vRows[:n]
+	qs.bias = qs.bias[:n]
+	qs.probsF = qs.probsF[:n]
+}
+
+// quantizeCache quantizes rows [0,n) of m (dim columns) into rows/back with
+// a shared symmetric scale, returning the scale.
+func quantizeCache(rows []fixed.Vector, back []int16, m *tensor.Mat, n, dim int, bits uint) float64 {
+	var maxMag float32
+	for i := 0; i < n; i++ {
+		if v := tensor.MaxAbs(m.Row(i)[:dim]); v > maxMag {
+			maxMag = v
+		}
+	}
+	scale := fixed.ScaleFor(float64(maxMag), bits)
+	qmax := float64(int32(1)<<(bits-1) - 1)
+	for i := 0; i < n; i++ {
+		src := m.Row(i)[:dim]
+		dst := back[i*dim : (i+1)*dim]
+		for j, x := range src {
+			v := math.Round(float64(x) / scale)
+			if v > qmax {
+				v = qmax
+			}
+			if v < -qmax-1 {
+				v = -qmax - 1
+			}
+			dst[j] = int16(v)
+		}
+		rows[i] = dst
+	}
+	return scale
+}
+
+// TokenPicker is the paper's kernel: probability-estimation pruning over
+// chunked 12-bit keys, quantized values for kept tokens only.
+type TokenPicker struct {
+	Est   *core.Estimator
+	Bits  uint // operand precision (12 in the paper)
+	stats Stats
+	qs    quantScratch
+}
+
+// NewTokenPicker builds the kernel at the given pruning threshold with the
+// paper's defaults.
+func NewTokenPicker(threshold float64) *TokenPicker {
+	return &TokenPicker{Est: core.MustNewEstimator(core.DefaultConfig(threshold)), Bits: 12}
+}
+
+// NewTokenPickerFrom wraps a custom-configured estimator.
+func NewTokenPickerFrom(cfg core.Config) *TokenPicker {
+	return &TokenPicker{Est: core.MustNewEstimator(cfg), Bits: cfg.Chunks.TotalBits}
+}
+
+// Stats returns the accumulated transfer statistics.
+func (k *TokenPicker) Stats() Stats { return k.stats }
+
+// ResetStats clears the accumulated statistics.
+func (k *TokenPicker) ResetStats() { k.stats = Stats{} }
+
+// Attend implements model.Kernel.
+func (k *TokenPicker) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+	dim := len(q)
+	k.qs.ensure(n, dim)
+	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
+	qq := fixed.Quantize(q, k.Bits)
+	for i := 0; i < n; i++ {
+		k.qs.bias[i] = -slope * float32(n-1-i)
+	}
+	rep := k.Est.Run(core.Inputs{
+		Q:      qq,
+		K:      k.qs.kRows,
+		KScale: kScale,
+		Scale:  float64(scale),
+		Bias:   k.qs.bias,
+	})
+
+	cs := k.Est.Config().Chunks
+	k.stats.Instances++
+	k.stats.Tokens += int64(n)
+	k.stats.Kept += int64(len(rep.Kept))
+	for len(k.stats.ChunkFetches) < len(rep.ChunkFetches) {
+		k.stats.ChunkFetches = append(k.stats.ChunkFetches, 0)
+	}
+	for b, v := range rep.ChunkFetches {
+		k.stats.ChunkFetches[b] += v
+	}
+	k.stats.KBytes += rep.KBytes(cs, dim)
+	k.stats.VBytes += rep.VBytes(cs, dim)
+	k.stats.BaselineKBytes += rep.BaselineKBytes(cs, dim)
+	k.stats.BaselineVBytes += rep.BaselineVBytes(cs, dim)
+
+	for j := range out {
+		out[j] = 0
+	}
+	if len(rep.Kept) == 0 {
+		// Degenerate instance (can only happen at extreme thresholds):
+		// fall back to attending the newest token so the output is defined.
+		copy(out, vals.Row(n - 1)[:dim])
+		return
+	}
+	// Weighted sum over kept tokens with quantized values.
+	vScale := quantizeCache(k.qs.vRows, k.qs.vBack, vals, n, dim, k.Bits)
+	for _, i := range rep.Kept {
+		p := float32(rep.Prob(i))
+		vRow := k.qs.vRows[i]
+		for j := 0; j < dim; j++ {
+			out[j] += p * float32(vScale*float64(vRow[j]))
+		}
+	}
+}
+
+// QuantizedExact applies full softmax attention with the same 12-bit
+// quantized arithmetic as the accelerator baseline (no pruning). Perplexity
+// deltas against this kernel isolate the pruning effect from quantization.
+type QuantizedExact struct {
+	Bits   uint
+	stats  Stats
+	qs     quantScratch
+	scores []float32
+	probs  []float32
+}
+
+// NewQuantizedExact returns the 12-bit exact kernel.
+func NewQuantizedExact() *QuantizedExact { return &QuantizedExact{Bits: 12} }
+
+// Stats returns accumulated transfer statistics (always baseline traffic).
+func (k *QuantizedExact) Stats() Stats { return k.stats }
+
+// ResetStats clears the statistics.
+func (k *QuantizedExact) ResetStats() { k.stats = Stats{} }
+
+// Attend implements model.Kernel.
+func (k *QuantizedExact) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+	dim := len(q)
+	k.qs.ensure(n, dim)
+	if cap(k.scores) < n {
+		k.scores = make([]float32, n)
+		k.probs = make([]float32, n)
+	}
+	scores := k.scores[:n]
+	probs := k.probs[:n]
+	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
+	vScale := quantizeCache(k.qs.vRows, k.qs.vBack, vals, n, dim, k.Bits)
+	qq := fixed.Quantize(q, k.Bits)
+	c := float64(scale) * qq.Scale * kScale
+	for i := 0; i < n; i++ {
+		scores[i] = float32(c*float64(fixed.Dot(qq.Data, k.qs.kRows[i]))) - slope*float32(n-1-i)
+	}
+	tensor.Softmax(probs, scores)
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		p := probs[i]
+		vRow := k.qs.vRows[i]
+		for j := 0; j < dim; j++ {
+			out[j] += p * float32(vScale*float64(vRow[j]))
+		}
+	}
+	cs := fixed.ChunkSpec{TotalBits: k.Bits, ChunkBits: k.Bits}
+	k.stats.Instances++
+	k.stats.Tokens += int64(n)
+	k.stats.Kept += int64(n)
+	bytes := int64(n) * int64(cs.VectorBytes(dim))
+	k.stats.KBytes += bytes
+	k.stats.VBytes += bytes
+	k.stats.BaselineKBytes += bytes
+	k.stats.BaselineVBytes += bytes
+}
+
+// Oracle prunes tokens whose exact probability is at or below the
+// threshold. It cannot save K traffic (it needs every score) but bounds the
+// achievable V pruning for any sound threshold method.
+type Oracle struct {
+	Threshold float64
+	Bits      uint
+	stats     Stats
+	qs        quantScratch
+	scores    []float32
+	probs     []float32
+}
+
+// NewOracle returns an oracle pruning kernel.
+func NewOracle(threshold float64) *Oracle { return &Oracle{Threshold: threshold, Bits: 12} }
+
+// Stats returns accumulated transfer statistics.
+func (k *Oracle) Stats() Stats { return k.stats }
+
+// ResetStats clears the statistics.
+func (k *Oracle) ResetStats() { k.stats = Stats{} }
+
+// Attend implements model.Kernel.
+func (k *Oracle) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+	dim := len(q)
+	k.qs.ensure(n, dim)
+	if cap(k.scores) < n {
+		k.scores = make([]float32, n)
+		k.probs = make([]float32, n)
+	}
+	scores := k.scores[:n]
+	probs := k.probs[:n]
+	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
+	vScale := quantizeCache(k.qs.vRows, k.qs.vBack, vals, n, dim, k.Bits)
+	qq := fixed.Quantize(q, k.Bits)
+	c := float64(scale) * qq.Scale * kScale
+	for i := 0; i < n; i++ {
+		scores[i] = float32(c*float64(fixed.Dot(qq.Data, k.qs.kRows[i]))) - slope*float32(n-1-i)
+	}
+	tensor.Softmax(probs, scores)
+
+	keptIdx := make([]int, 0, n)
+	var keptMass float64
+	for i := 0; i < n; i++ {
+		if float64(probs[i]) > k.Threshold {
+			keptIdx = append(keptIdx, i)
+			keptMass += float64(probs[i])
+		}
+	}
+	if len(keptIdx) == 0 {
+		// Threshold above the max probability: keep the argmax token.
+		best := tensor.Argmax(probs)
+		keptIdx = append(keptIdx, best)
+		keptMass = float64(probs[best])
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for _, i := range keptIdx {
+		p := float32(float64(probs[i]) / keptMass)
+		vRow := k.qs.vRows[i]
+		for j := 0; j < dim; j++ {
+			out[j] += p * float32(vScale*float64(vRow[j]))
+		}
+	}
+
+	cs := fixed.ChunkSpec{TotalBits: k.Bits, ChunkBits: k.Bits}
+	vecBytes := int64(cs.VectorBytes(dim))
+	k.stats.Instances++
+	k.stats.Tokens += int64(n)
+	k.stats.Kept += int64(len(keptIdx))
+	k.stats.KBytes += int64(n) * vecBytes
+	k.stats.VBytes += int64(len(keptIdx)) * vecBytes
+	k.stats.BaselineKBytes += int64(n) * vecBytes
+	k.stats.BaselineVBytes += int64(n) * vecBytes
+}

@@ -1,0 +1,205 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tokenpicker/internal/core"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/tensor"
+)
+
+// buildCache creates a random n x dim K/V cache and query.
+func buildCache(rng *rand.Rand, n, dim int) (q []float32, keys, vals *tensor.Mat) {
+	q = make([]float32, dim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	keys = tensor.NewMat(n, dim)
+	vals = tensor.NewMat(n, dim)
+	keys.RandInit(rng, 1)
+	vals.RandInit(rng, 1)
+	return q, keys, vals
+}
+
+func attendAll(k model.Kernel, q []float32, keys, vals *tensor.Mat, n int) []float32 {
+	out := make([]float32, len(q))
+	k.Attend(out, q, keys, vals, n, float32(1/math.Sqrt(float64(len(q)))), 0.01, 0, 0)
+	return out
+}
+
+func TestQuantizedExactMatchesFloatExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		q, keys, vals := buildCache(rng, 64, 32)
+		exact := attendAll(&model.ExactKernel{}, q, keys, vals, 64)
+		quant := attendAll(NewQuantizedExact(), q, keys, vals, 64)
+		for j := range exact {
+			if math.Abs(float64(exact[j]-quant[j])) > 0.05 {
+				t.Fatalf("trial %d dim %d: exact %g vs quantized %g", trial, j, exact[j], quant[j])
+			}
+		}
+	}
+}
+
+func TestTokenPickerMatchesQuantizedOnTightThreshold(t *testing.T) {
+	// With a very tight threshold the pruned mass is negligible and outputs
+	// should nearly coincide with unpruned quantized attention.
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 5; trial++ {
+		q, keys, vals := buildCache(rng, 128, 32)
+		quant := attendAll(NewQuantizedExact(), q, keys, vals, 128)
+		tp := attendAll(NewTokenPicker(1e-7), q, keys, vals, 128)
+		for j := range quant {
+			if math.Abs(float64(quant[j]-tp[j])) > 0.02 {
+				t.Fatalf("trial %d dim %d: quant %g vs token-picker %g", trial, j, quant[j], tp[j])
+			}
+		}
+	}
+}
+
+func TestTokenPickerSavesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	k := NewTokenPicker(1e-2)
+	for trial := 0; trial < 8; trial++ {
+		q, keys, vals := buildCache(rng, 256, 32)
+		// Make a peaked instance: align some keys with the query.
+		for i := 0; i < 256; i += 13 {
+			row := keys.Row(i)
+			for j := range row {
+				row[j] += q[j]
+			}
+		}
+		attendAll(k, q, keys, vals, 256)
+	}
+	st := k.Stats()
+	if st.VBytes >= st.BaselineVBytes {
+		t.Fatalf("no V savings: %d vs baseline %d", st.VBytes, st.BaselineVBytes)
+	}
+	if st.KBytes >= st.BaselineKBytes {
+		t.Fatalf("no K savings: %d vs baseline %d", st.KBytes, st.BaselineKBytes)
+	}
+	if st.PruningRatio() <= 1 || st.KReduction() <= 1 || st.TotalReduction() <= 1 {
+		t.Fatalf("ratios not > 1: %+v", st)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	k := NewTokenPicker(1e-3)
+	q, keys, vals := buildCache(rng, 100, 16)
+	attendAll(k, q, keys, vals, 100)
+	st := k.Stats()
+	if st.Instances != 1 || st.Tokens != 100 {
+		t.Fatalf("instance accounting wrong: %+v", st)
+	}
+	// 16-dim, 12-bit: full vector = 24 bytes; chunk = 8 bytes.
+	wantBaseline := int64(100 * 24)
+	if st.BaselineKBytes != wantBaseline || st.BaselineVBytes != wantBaseline {
+		t.Fatalf("baseline bytes wrong: %+v", st)
+	}
+	var chunkSum int64
+	for _, c := range st.ChunkFetches {
+		chunkSum += c * 8
+	}
+	if chunkSum != st.KBytes {
+		t.Fatalf("K bytes %d != chunk reconstruction %d", st.KBytes, chunkSum)
+	}
+	if st.VBytes != st.Kept*24 {
+		t.Fatalf("V bytes %d != kept*24 %d", st.VBytes, st.Kept*24)
+	}
+	k.ResetStats()
+	if k.Stats().Instances != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestOracleBoundsTokenPicker(t *testing.T) {
+	// Oracle pruning at the same threshold keeps a subset of what any sound
+	// estimator must keep, so its kept count is a lower bound.
+	rng := rand.New(rand.NewSource(55))
+	thr := 1e-3
+	tp := NewTokenPicker(thr)
+	or := NewOracle(thr)
+	for trial := 0; trial < 6; trial++ {
+		q, keys, vals := buildCache(rng, 200, 32)
+		attendAll(tp, q, keys, vals, 200)
+		attendAll(or, q, keys, vals, 200)
+	}
+	if or.Stats().Kept > tp.Stats().Kept {
+		t.Fatalf("oracle kept %d > token-picker kept %d", or.Stats().Kept, tp.Stats().Kept)
+	}
+}
+
+func TestKernelsInDecoder(t *testing.T) {
+	// All kernels must run inside the real decoder without blowing up and
+	// produce finite logits.
+	cfg := model.TestConfig()
+	params := model.NewParams(cfg, 5)
+	kernels := []model.Kernel{
+		nil,
+		NewQuantizedExact(),
+		NewTokenPicker(1e-3),
+		NewOracle(1e-3),
+		NewTokenPickerFrom(func() core.Config {
+			c := core.DefaultConfig(1e-3)
+			c.FixedPointExp = true
+			return c
+		}()),
+	}
+	for ki, k := range kernels {
+		dec := model.NewDecoder(params, k)
+		dec.Prompt([]int{1, 2, 3, 4, 5})
+		for step := 0; step < 20; step++ {
+			logits := dec.Step(step % cfg.VocabSize)
+			for _, v := range logits {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("kernel %d produced non-finite logits", ki)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Instances: 1, Tokens: 10, Kept: 5, KBytes: 100, VBytes: 50,
+		BaselineKBytes: 200, BaselineVBytes: 200, ChunkFetches: []int64{10, 5}}
+	b := Stats{Instances: 2, Tokens: 20, Kept: 5, KBytes: 100, VBytes: 50,
+		BaselineKBytes: 400, BaselineVBytes: 400, ChunkFetches: []int64{20, 10, 3}}
+	a.Add(b)
+	if a.Instances != 3 || a.Tokens != 30 || a.Kept != 10 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if len(a.ChunkFetches) != 3 || a.ChunkFetches[0] != 30 || a.ChunkFetches[2] != 3 {
+		t.Fatalf("chunk merge wrong: %v", a.ChunkFetches)
+	}
+	if a.TotalReduction() != (600.0+600.0)/(200.0+100.0) {
+		t.Fatalf("total reduction %g", a.TotalReduction())
+	}
+}
+
+func TestPerplexityDegradationOrdering(t *testing.T) {
+	// On a trained model: PPL(quantized exact) <= PPL(thr=1e-4) <= PPL(thr=3e-2)
+	// within noise. This is the qualitative Fig. 8 relationship.
+	if testing.Short() {
+		t.Skip("trained-model test skipped in -short mode")
+	}
+	r := trainedModel()
+	held := r.Held
+	if len(held) > 400 {
+		held = held[:400]
+	}
+	pplBase := perplexity(r, held, NewQuantizedExact())
+	pplTight := perplexity(r, held, NewTokenPicker(1e-4))
+	pplLoose := perplexity(r, held, NewTokenPicker(5e-2))
+	if pplTight < pplBase*0.98 {
+		t.Fatalf("tight-threshold PPL %.3f implausibly better than baseline %.3f", pplTight, pplBase)
+	}
+	if pplTight > pplBase*1.25 {
+		t.Fatalf("tight-threshold PPL %.3f degraded too much vs baseline %.3f", pplTight, pplBase)
+	}
+	if pplLoose < pplTight*0.95 {
+		t.Fatalf("loose threshold PPL %.3f should not beat tight %.3f", pplLoose, pplTight)
+	}
+}

@@ -1,0 +1,37 @@
+package attention
+
+import (
+	"math"
+
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/train"
+)
+
+// trainedModel returns the shared micro test model.
+func trainedModel() *train.Result { return train.TestModel() }
+
+// perplexity mirrors train.Perplexity but is inlined here to keep the import
+// direction attention -> train confined to tests.
+func perplexity(r *train.Result, tokens []int, kernel model.Kernel) float64 {
+	const warm = 16
+	dec := model.NewDecoder(r.Params, kernel)
+	dec.Prompt(tokens[:warm])
+	var nll float64
+	n := 0
+	for t := warm; t+1 < len(tokens); t++ {
+		logits := dec.Step(tokens[t])
+		maxv := logits[0]
+		for _, v := range logits[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range logits {
+			sum += math.Exp(float64(v - maxv))
+		}
+		nll += float64(maxv) + math.Log(sum) - float64(logits[tokens[t+1]])
+		n++
+	}
+	return math.Exp(nll / float64(n))
+}

@@ -1,0 +1,85 @@
+package bench
+
+import "testing"
+
+func TestAblationChunkWidth(t *testing.T) {
+	_, rows := AblationChunkWidth(Quick())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.VRatio < 1 {
+			t.Fatalf("%s: V ratio %.2f < 1", r.Name, r.VRatio)
+		}
+	}
+	// No chunking = no K savings (single chunk covers the whole key).
+	if nochunk := byName["12-bit"]; nochunk.KRed > 1.0001 {
+		t.Fatalf("12-bit chunks cannot reduce K: %.3f", nochunk.KRed)
+	}
+	// Chunked variants must reduce K.
+	if byName["4-bit"].KRed <= 1 {
+		t.Fatalf("4-bit chunks should reduce K: %.3f", byName["4-bit"].KRed)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	_, rows := AblationOrdering(Quick())
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The paper's locality order should not be worse than forward order on
+	// total traffic (it exists to build the denominator faster).
+	if byName["paper"].Total > byName["forward"].Total*1.05 {
+		t.Fatalf("paper order traffic %.3f worse than forward %.3f",
+			byName["paper"].Total, byName["forward"].Total)
+	}
+	// Every ordering keeps PPL close to baseline (soundness is
+	// order-independent).
+	for _, r := range rows {
+		if r.PPL > r.PPLBase*1.3 {
+			t.Fatalf("%s: PPL %.3f too far above base %.3f", r.Name, r.PPL, r.PPLBase)
+		}
+	}
+}
+
+func TestAblationSchedule(t *testing.T) {
+	_, rows := AblationSchedule(Quick())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.VRatio < 1 || r.KRed < 1 {
+			t.Fatalf("%s: no savings", r.Name)
+		}
+	}
+}
+
+func TestAblationDenominator(t *testing.T) {
+	_, rows := AblationDenominator(Quick())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Keeping pruned contributions gives a larger denominator, hence
+	// smaller estimates, hence at least as much pruning.
+	remove, keep := rows[0], rows[1]
+	if keep.VRatio < remove.VRatio*0.98 {
+		t.Fatalf("keep-policy V ratio %.2f should be >= remove-policy %.2f",
+			keep.VRatio, remove.VRatio)
+	}
+}
+
+func TestAblationFixedPoint(t *testing.T) {
+	_, rows := AblationFixedPoint(Quick())
+	fl, fx := rows[0], rows[1]
+	// Fixed-point arithmetic must track float64 closely on both traffic
+	// and quality.
+	if ratio := fx.Total / fl.Total; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("fixed-point traffic diverges: %.3f vs %.3f", fx.Total, fl.Total)
+	}
+	if fx.PPL > fl.PPL*1.05 {
+		t.Fatalf("fixed-point PPL diverges: %.3f vs %.3f", fx.PPL, fl.PPL)
+	}
+}

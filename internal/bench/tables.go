@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"tokenpicker/internal/sim/arch"
+	"tokenpicker/internal/sim/dram"
+	"tokenpicker/internal/sim/energy"
+)
+
+// Table1 prints the hardware configuration (paper Table 1).
+func Table1() *Table {
+	hw := arch.DefaultConfig(arch.ModeToPick, 1e-3)
+	mem := dram.HBM2Config()
+	t := &Table{
+		Title:  "Table 1: hardware configuration of ToPick",
+		Header: []string{"component", "configuration"},
+	}
+	t.AddRow("Main memory", fmt.Sprintf("HBM2; %d channels x 128-bit at 2GHz; %d GB/s per channel",
+		mem.Channels, 32))
+	t.AddRow("On-chip buffer", "192KB SRAM each for Key and Value; 512B operand buffer")
+	t.AddRow("PE lanes", fmt.Sprintf("%d lanes; 64-dim x 12-12 bit multipliers and adder tree", hw.Lanes))
+	t.AddRow("Scoreboard", fmt.Sprintf("%d entries x 67 bit per lane", hw.ScoreboardEntries))
+	t.AddRow("EXP unit", "2 x 32-bit fixed point per lane")
+	t.AddRow("Operand precision", fmt.Sprintf("%d bits in %d-bit chunks", hw.Chunks.TotalBits, hw.Chunks.ChunkBits))
+	t.AddRow("Clock", fmt.Sprintf("%d MHz", energy.ClockMHz))
+	return t
+}
+
+// Table2 prints the area/power model (paper Table 2) from the calibrated
+// constants in the energy package.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2: area and power breakdown of ToPick at 500MHz",
+		Header: []string{"module", "area (mm^2)", "power (mW)"},
+	}
+	t.AddRow("PE Lane x 16", fmt.Sprintf("%.3f", energy.PELaneArea()), fmt.Sprintf("%.2f", energy.PELanePower()))
+	for _, m := range energy.Table2 {
+		area, power := m.AreaMM2, m.PowerMW
+		name := m.Name
+		if m.PerLane {
+			name = "  " + name + " (per lane)"
+		}
+		t.AddRow(name, fmt.Sprintf("%.3f", area), fmt.Sprintf("%.2f", power))
+	}
+	t.AddRow("Total", fmt.Sprintf("%.3f", energy.TotalArea()), fmt.Sprintf("%.2f", energy.TotalPower()))
+	vA, vP, kA, kP := energy.OverheadVsBaseline()
+	t.AddNote("V-pruning modules (Margin Gen, DAG, PEC): +%.1f%% area, +%.1f%% power over baseline", vA, vP)
+	t.AddNote("K-pruning modules (Scoreboard, RPDU): +%.1f%% area, +%.1f%% power over baseline", kA, kP)
+	return t
+}

@@ -1,0 +1,211 @@
+// Package corpus generates deterministic synthetic token streams that stand
+// in for the paper's Wikitext-2 evaluation data. Real text has three
+// statistical properties that matter for attention-score distributions and
+// therefore for token pruning:
+//
+//  1. Zipfian unigram frequencies — a few tokens dominate;
+//  2. local Markov structure — the next token depends strongly on recent
+//     ones, which trains heads with sharp, local attention;
+//  3. long-range reuse — phrases recur far apart, which trains heads that
+//     attend to distant matching context (the "instance B" behaviour of the
+//     paper's Fig. 3, where many tokens carry non-negligible probability).
+//
+// The generator reproduces all three with a seeded bigram table, Zipf-ranked
+// successor weights, and stochastic phrase copyback.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BOS is the beginning-of-sequence token id, always 0.
+const BOS = 0
+
+// Config parameterizes the synthetic corpus.
+type Config struct {
+	VocabSize   int     // number of distinct tokens, >= 8
+	Seed        int64   // RNG seed; same seed => identical stream
+	Branching   int     // successor candidates per token (Markov sharpness)
+	ZipfS       float64 // Zipf exponent for successor weights (>1: sharper)
+	RepeatProb  float64 // probability of starting a phrase copyback per step
+	RepeatLen   int     // mean copied-phrase length
+	RepeatRange int     // how far back copyback may reach (0 = whole history)
+}
+
+// DefaultConfig mirrors rough natural-language statistics at small scale.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		VocabSize:   96,
+		Seed:        seed,
+		Branching:   24,
+		ZipfS:       1.2,
+		RepeatProb:  0.03,
+		RepeatLen:   8,
+		RepeatRange: 0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.VocabSize < 8 {
+		return fmt.Errorf("corpus: vocab size %d too small", c.VocabSize)
+	}
+	if c.Branching < 2 || c.Branching >= c.VocabSize {
+		return fmt.Errorf("corpus: branching %d out of range [2,%d)", c.Branching, c.VocabSize)
+	}
+	if c.ZipfS <= 1.0 {
+		return fmt.Errorf("corpus: zipf exponent %g must be > 1", c.ZipfS)
+	}
+	if c.RepeatProb < 0 || c.RepeatProb > 0.5 {
+		return fmt.Errorf("corpus: repeat prob %g out of range [0,0.5]", c.RepeatProb)
+	}
+	if c.RepeatLen < 1 {
+		return fmt.Errorf("corpus: repeat len %d must be >= 1", c.RepeatLen)
+	}
+	return nil
+}
+
+// Generator produces token streams under a fixed bigram model.
+type Generator struct {
+	cfg Config
+	// successors[t] lists candidate next tokens after t, Zipf-weighted by
+	// rank (successors[t][0] is most likely).
+	successors [][]int
+	cumWeights []float64 // shared Zipf CDF over ranks
+	rng        *rand.Rand
+}
+
+// NewGenerator builds the bigram model for cfg. It panics on invalid config
+// (configuration is programmer input, not runtime data).
+func NewGenerator(cfg Config) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	structRng := rand.New(rand.NewSource(cfg.Seed))
+	// Global popularity: token id i (1..V-1) has Zipf weight 1/i^s, so
+	// low-id tokens appear near the front of many successor lists and the
+	// stationary unigram distribution comes out Zipfian.
+	globalCum := make([]float64, cfg.VocabSize-1)
+	var gtot float64
+	for i := range globalCum {
+		gtot += 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		globalCum[i] = gtot
+	}
+	sampleGlobal := func() int {
+		u := structRng.Float64() * gtot
+		lo, hi := 0, len(globalCum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if globalCum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1 // token ids 1..VocabSize-1
+	}
+	succ := make([][]int, cfg.VocabSize)
+	for t := range succ {
+		seen := make(map[int]bool, cfg.Branching)
+		cands := make([]int, 0, cfg.Branching)
+		for len(cands) < cfg.Branching {
+			c := sampleGlobal()
+			if !seen[c] {
+				seen[c] = true
+				cands = append(cands, c)
+			}
+		}
+		succ[t] = cands
+	}
+	// Zipf CDF over successor ranks.
+	cum := make([]float64, cfg.Branching)
+	var total float64
+	for r := 0; r < cfg.Branching; r++ {
+		total += 1 / math.Pow(float64(r+1), cfg.ZipfS)
+		cum[r] = total
+	}
+	for r := range cum {
+		cum[r] /= total
+	}
+	return &Generator{
+		cfg:        cfg,
+		successors: succ,
+		cumWeights: cum,
+		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Tokens generates n tokens starting with BOS. Repeated calls continue the
+// same stream.
+func (g *Generator) Tokens(n int) []int {
+	out := make([]int, 0, n)
+	out = append(out, BOS)
+	copyRemaining := 0
+	copyFrom := 0
+	for len(out) < n {
+		if copyRemaining > 0 && copyFrom < len(out) {
+			out = append(out, out[copyFrom])
+			copyFrom++
+			copyRemaining--
+			continue
+		}
+		if g.rng.Float64() < g.cfg.RepeatProb && len(out) > 16 {
+			lo := 0
+			if g.cfg.RepeatRange > 0 && len(out) > g.cfg.RepeatRange {
+				lo = len(out) - g.cfg.RepeatRange
+			}
+			span := lo + g.rng.Intn(len(out)-lo-1)
+			copyFrom = span
+			copyRemaining = 1 + g.rng.Intn(2*g.cfg.RepeatLen)
+			continue
+		}
+		prev := out[len(out)-1]
+		out = append(out, g.next(prev))
+	}
+	return out[:n]
+}
+
+// next samples a successor of token t from the Zipf-ranked candidate list.
+func (g *Generator) next(t int) int {
+	u := g.rng.Float64()
+	cands := g.successors[t]
+	for r, c := range g.cumWeights {
+		if u <= c {
+			return cands[r]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// VocabSize returns the configured vocabulary size.
+func (g *Generator) VocabSize() int { return g.cfg.VocabSize }
+
+// Split divides tokens into train and held-out spans; frac is the training
+// fraction in (0,1).
+func Split(tokens []int, frac float64) (train, held []int) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("corpus: split fraction %g out of (0,1)", frac))
+	}
+	cut := int(float64(len(tokens)) * frac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(tokens) {
+		cut = len(tokens) - 1
+	}
+	return tokens[:cut], tokens[cut:]
+}
+
+// UnigramCounts tallies token frequencies, used by tests to verify the
+// Zipfian property.
+func UnigramCounts(tokens []int, vocab int) []int {
+	counts := make([]int, vocab)
+	for _, t := range tokens {
+		if t >= 0 && t < vocab {
+			counts[t]++
+		}
+	}
+	return counts
+}

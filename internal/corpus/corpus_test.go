@@ -1,0 +1,151 @@
+package corpus
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(DefaultConfig(42)).Tokens(2000)
+	b := NewGenerator(DefaultConfig(42)).Tokens(2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(DefaultConfig(43)).Tokens(2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestTokensInRange(t *testing.T) {
+	cfg := DefaultConfig(7)
+	g := NewGenerator(cfg)
+	toks := g.Tokens(5000)
+	if toks[0] != BOS {
+		t.Fatalf("stream must start with BOS, got %d", toks[0])
+	}
+	for i, tk := range toks {
+		if tk < 0 || tk >= cfg.VocabSize {
+			t.Fatalf("token %d at %d out of range", tk, i)
+		}
+	}
+	if len(toks) != 5000 {
+		t.Fatalf("len = %d, want 5000", len(toks))
+	}
+}
+
+func TestZipfianUnigrams(t *testing.T) {
+	cfg := DefaultConfig(11)
+	g := NewGenerator(cfg)
+	toks := g.Tokens(50000)
+	counts := UnigramCounts(toks, cfg.VocabSize)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	// The head of the distribution should dominate: top 10% of tokens should
+	// carry well over 2x their uniform share.
+	top := cfg.VocabSize / 10
+	var topSum, total int
+	for i, c := range counts {
+		total += c
+		if i < top {
+			topSum += c
+		}
+	}
+	share := float64(topSum) / float64(total)
+	uniform := float64(top) / float64(cfg.VocabSize)
+	if share < 2*uniform {
+		t.Fatalf("top-%d share %.3f not Zipfian (uniform would be %.3f)", top, share, uniform)
+	}
+}
+
+func TestPhraseRepetition(t *testing.T) {
+	// With copyback on, the stream should contain long exact repeats that a
+	// no-copyback stream lacks. Measure the longest repeated 6-gram count.
+	withCfg := DefaultConfig(3)
+	withCfg.RepeatProb = 0.05
+	withoutCfg := DefaultConfig(3)
+	withoutCfg.RepeatProb = 0
+	count6 := func(toks []int) int {
+		seen := map[[6]int]int{}
+		for i := 0; i+6 <= len(toks); i++ {
+			var key [6]int
+			copy(key[:], toks[i:i+6])
+			seen[key]++
+		}
+		repeats := 0
+		for _, c := range seen {
+			if c > 1 {
+				repeats += c - 1
+			}
+		}
+		return repeats
+	}
+	with := count6(NewGenerator(withCfg).Tokens(20000))
+	without := count6(NewGenerator(withoutCfg).Tokens(20000))
+	if with <= without {
+		t.Fatalf("copyback (%d repeats) should exceed baseline (%d)", with, without)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	toks := make([]int, 100)
+	train, held := Split(toks, 0.9)
+	if len(train) != 90 || len(held) != 10 {
+		t.Fatalf("split 90/10 got %d/%d", len(train), len(held))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid fraction should panic")
+		}
+	}()
+	Split(toks, 1.5)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{VocabSize: 4, Branching: 2, ZipfS: 1.2, RepeatLen: 1},
+		{VocabSize: 96, Branching: 1, ZipfS: 1.2, RepeatLen: 1},
+		{VocabSize: 96, Branching: 24, ZipfS: 0.9, RepeatLen: 1},
+		{VocabSize: 96, Branching: 24, ZipfS: 1.2, RepeatProb: 0.9, RepeatLen: 1},
+		{VocabSize: 96, Branching: 24, ZipfS: 1.2, RepeatLen: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d should be invalid: %+v", i, cfg)
+		}
+	}
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestMarkovStructure(t *testing.T) {
+	// Conditional entropy of next token given previous should be far below
+	// the unconditional entropy if the bigram structure is real.
+	cfg := DefaultConfig(5)
+	cfg.RepeatProb = 0
+	g := NewGenerator(cfg)
+	toks := g.Tokens(60000)
+	// Count distinct successors per token; Zipf-ranked branching limits it.
+	succ := map[int]map[int]bool{}
+	for i := 0; i+1 < len(toks); i++ {
+		m, ok := succ[toks[i]]
+		if !ok {
+			m = map[int]bool{}
+			succ[toks[i]] = m
+		}
+		m[toks[i+1]] = true
+	}
+	for tk, m := range succ {
+		if len(m) > cfg.Branching {
+			t.Fatalf("token %d has %d successors, branching is %d", tk, len(m), cfg.Branching)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package fixed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allSpecs() []ChunkSpec {
+	return []ChunkSpec{
+		{TotalBits: 12, ChunkBits: 4}, // paper default
+		{TotalBits: 12, ChunkBits: 2},
+		{TotalBits: 12, ChunkBits: 6},
+		{TotalBits: 12, ChunkBits: 5}, // non-dividing width
+		{TotalBits: 8, ChunkBits: 4},
+		{TotalBits: 15, ChunkBits: 4},
+		{TotalBits: 12, ChunkBits: 12}, // single chunk
+	}
+}
+
+func randVal(rng *rand.Rand, bits uint) int16 {
+	lim := int32(1) << (bits - 1)
+	return int16(rng.Int31n(2*lim) - lim)
+}
+
+func TestChunkSpecValidate(t *testing.T) {
+	bad := []ChunkSpec{
+		{TotalBits: 1, ChunkBits: 1},
+		{TotalBits: 16, ChunkBits: 4},
+		{TotalBits: 12, ChunkBits: 0},
+		{TotalBits: 12, ChunkBits: 13},
+	}
+	for _, cs := range bad {
+		if cs.Validate() == nil {
+			t.Errorf("spec %+v should be invalid", cs)
+		}
+	}
+	for _, cs := range allSpecs() {
+		if err := cs.Validate(); err != nil {
+			t.Errorf("spec %+v should be valid: %v", cs, err)
+		}
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct {
+		cs   ChunkSpec
+		want int
+	}{
+		{ChunkSpec{12, 4}, 3},
+		{ChunkSpec{12, 2}, 6},
+		{ChunkSpec{12, 5}, 3},
+		{ChunkSpec{12, 12}, 1},
+		{ChunkSpec{8, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := c.cs.NumChunks(); got != c.want {
+			t.Errorf("%+v NumChunks=%d, want %d", c.cs, got, c.want)
+		}
+	}
+}
+
+func TestExtractAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 200; trial++ {
+			v := randVal(rng, cs.TotalBits)
+			chunks := make([]uint16, cs.NumChunks())
+			for b := range chunks {
+				chunks[b] = cs.Extract(v, b)
+			}
+			if got := cs.Assemble(chunks); got != v {
+				t.Fatalf("%+v: assemble(extract(%d)) = %d", cs, v, got)
+			}
+		}
+	}
+}
+
+func TestKnownDecomposition(t *testing.T) {
+	// Exact value = Known(v,b) + r with 0 <= r <= UnknownAfter(b).
+	rng := rand.New(rand.NewSource(3))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 200; trial++ {
+			v := randVal(rng, cs.TotalBits)
+			for b := 0; b < cs.NumChunks(); b++ {
+				known := int64(cs.Known(v, b))
+				r := int64(v) - known
+				if r < 0 || r > cs.UnknownAfter(b) {
+					t.Fatalf("%+v v=%d b=%d: residual %d outside [0,%d]",
+						cs, v, b, r, cs.UnknownAfter(b))
+				}
+			}
+			// Final chunk: exact.
+			last := cs.NumChunks() - 1
+			if cs.Known(v, last) != v {
+				t.Fatalf("%+v: Known at final chunk %d != exact %d", cs, cs.Known(v, last), v)
+			}
+		}
+	}
+}
+
+func TestChunkContributionSumsToValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 200; trial++ {
+			v := randVal(rng, cs.TotalBits)
+			var sum int64
+			for b := 0; b < cs.NumChunks(); b++ {
+				sum += cs.ChunkContribution(cs.Extract(v, b), b)
+			}
+			if sum != int64(v) {
+				t.Fatalf("%+v: chunk contributions sum to %d, want %d", cs, sum, v)
+			}
+		}
+	}
+}
+
+func TestPartialDotIncrementalConsistency(t *testing.T) {
+	// PartialDot(q,k,b) == Σ_{b'<=b} ChunkDot(q,k,b'), and the final partial
+	// dot equals the exact dot.
+	rng := rand.New(rand.NewSource(5))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 50; trial++ {
+			n := 8 + rng.Intn(56)
+			q := make(Vector, n)
+			k := make(Vector, n)
+			for i := range q {
+				q[i] = randVal(rng, cs.TotalBits)
+				k[i] = randVal(rng, cs.TotalBits)
+			}
+			var acc int64
+			for b := 0; b < cs.NumChunks(); b++ {
+				acc += cs.ChunkDot(q, k, b)
+				if got := cs.PartialDot(q, k, b); got != acc {
+					t.Fatalf("%+v b=%d: PartialDot=%d, incremental=%d", cs, b, got, acc)
+				}
+			}
+			if exact := Dot(q, k); acc != exact {
+				t.Fatalf("%+v: final partial dot %d != exact %d", cs, acc, exact)
+			}
+		}
+	}
+}
+
+func TestChunkBytes(t *testing.T) {
+	cs := DefaultChunkSpec
+	if got := cs.ChunkBytes(64, 0); got != 32 {
+		t.Errorf("chunk bytes for dim=64, 4-bit chunk: got %d, want 32", got)
+	}
+	if got := cs.VectorBytes(64); got != 96 {
+		t.Errorf("vector bytes for dim=64 at 12 bits: got %d, want 96", got)
+	}
+	// Non-dividing spec: final chunk narrower.
+	odd := ChunkSpec{TotalBits: 12, ChunkBits: 5}
+	if w := odd.ChunkWidth(2); w != 2 {
+		t.Errorf("final chunk width of 12/5 split: got %d, want 2", w)
+	}
+}
+
+func TestExtractAllLayout(t *testing.T) {
+	cs := DefaultChunkSpec
+	k := Vector{0x7FF & 0x7FF, -1, 0, 5}
+	rows := cs.ExtractAll(k)
+	if len(rows) != 3 {
+		t.Fatalf("ExtractAll rows = %d, want 3", len(rows))
+	}
+	for i, v := range k {
+		got := cs.Assemble([]uint16{rows[0][i], rows[1][i], rows[2][i]})
+		if got != v {
+			t.Errorf("elem %d reassembles to %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestChunkRoundTripProperty(t *testing.T) {
+	cs := DefaultChunkSpec
+	f := func(raw int16) bool {
+		v := raw % 2048 // stay in 12-bit range
+		chunks := make([]uint16, cs.NumChunks())
+		for b := range chunks {
+			chunks[b] = cs.Extract(v, b)
+		}
+		return cs.Assemble(chunks) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

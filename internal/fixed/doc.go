@@ -1,0 +1,17 @@
+// Package fixed implements the two's-complement fixed-point substrate used
+// throughout the Token-Picker reproduction: symmetric quantization of
+// floating-point vectors to narrow signed integers, MSB-first segmentation of
+// those integers into bit chunks (the unit of DRAM transfer in the paper),
+// conservative dot-product margins computed from a fully-known query vector
+// (paper Eq. 4 and Fig. 4b), and the 32-bit fixed-point exp/ln units that the
+// ToPick PE lane uses for probability estimation.
+//
+// The margin construction is the arithmetic heart of the paper. For an N-bit
+// two's-complement integer a(N-1)...a(0) every bit except the sign bit
+// contributes a non-negative amount. When only the leading bits of one
+// operand of a dot product are known, setting the unknown bits to all-ones
+// for positive query elements (all-zeros for negative ones) yields the
+// maximum possible score, and the converse yields the minimum. Both margins
+// depend only on the query and the number of unknown bits, so they are
+// computed once per query by the Margin Generator and reused for every key.
+package fixed

@@ -1,0 +1,188 @@
+package fixed
+
+import "math"
+
+// The ToPick PE lane contains a "2 x 32 bit fixed-point EXP unit" (paper
+// Table 1) and the DAG distributes ln(denominator) to the lanes. This file
+// models those units bit-faithfully enough for the cycle simulator: ExpFix
+// maps a Q16.16 signed score to a Q32.32 unsigned exponential through a
+// 64-entry LUT with linear interpolation (range reduction by powers of two),
+// and LnFix is the inverse built on bit normalization plus the same LUT.
+//
+// The pruning comparison itself (RPDU) is done in log space,
+// s_max - ln(denominator) <= ln(thr), so only the denominator passes through
+// ExpFix; saturation there shrinks the denominator and therefore only ever
+// makes pruning more conservative, never unsafe.
+
+const (
+	// ExpFracBits is the number of fractional bits in the Q16.16 input.
+	ExpFracBits = 16
+	// ExpOutFracBits is the number of fractional bits in the Q32.32 output.
+	ExpOutFracBits = 32
+	// expOne is 1.0 in Q16.16.
+	expOne = int64(1) << ExpFracBits
+	// expOutOne is 1.0 in Q32.32.
+	expOutOne = uint64(1) << ExpOutFracBits
+	// expLUTBits selects the LUT resolution: 2^expLUTBits entries covering
+	// the fractional interval [0, ln2).
+	expLUTBits = 6
+	// ExpMaxInput saturates exp above this Q16.16 input: e^22 nearly fills
+	// the 32 integer bits of the Q32.32 output.
+	ExpMaxInput = 22 << ExpFracBits
+	// ExpMinInput flushes exp to zero below this Q16.16 input: e^-23 is
+	// below one ulp of Q32.32.
+	ExpMinInput = -23 << ExpFracBits
+)
+
+// ln2Q16 is ln(2) in Q16.16.
+var ln2Q16 = int64(math.Round(math.Ln2 * float64(expOne)))
+
+// expLUT[i] = exp(i * ln2 / 2^expLUTBits) in Q2.30, covering [1, 2).
+const lutFracBits = 30
+
+var expLUT = func() [1<<expLUTBits + 1]int64 {
+	var t [1<<expLUTBits + 1]int64
+	for i := range t {
+		x := float64(i) * math.Ln2 / float64(int64(1)<<expLUTBits)
+		t[i] = int64(math.Round(math.Exp(x) * float64(int64(1)<<lutFracBits)))
+	}
+	return t
+}()
+
+// ExpFix computes exp(x) for x in Q16.16, returning an unsigned Q32.32 value
+// (i.e. result/2^32 is the real value). Inputs above ExpMaxInput saturate;
+// inputs below ExpMinInput return 0.
+func ExpFix(x int64) uint64 {
+	if x >= ExpMaxInput {
+		x = ExpMaxInput
+	}
+	if x <= ExpMinInput {
+		return 0
+	}
+	// Range-reduce: x = n*ln2 + r with r in [0, ln2).
+	n := x / ln2Q16
+	r := x - n*ln2Q16
+	if r < 0 {
+		n--
+		r += ln2Q16
+	}
+	// Index the LUT with the top expLUTBits of r/ln2 and interpolate.
+	idx := (r << expLUTBits) / ln2Q16
+	if idx >= int64(1)<<expLUTBits {
+		idx = int64(1)<<expLUTBits - 1
+	}
+	frac := (r << expLUTBits) - idx*ln2Q16 // remainder, Q16.16 scaled by 2^LUTBits
+	base := expLUT[idx]
+	next := expLUT[idx+1]
+	interp := base + (next-base)*frac/ln2Q16 // Q2.30 in [1,2)
+	// Scale Q2.30 mantissa to Q32.32 and apply the 2^n factor:
+	// shift left by (32 - 30 + n) = n + 2.
+	shift := n + int64(ExpOutFracBits-lutFracBits)
+	switch {
+	case shift >= 0:
+		if shift > 33 { // 2 bits mantissa + 33 > 35 would clip uint64? keep safe
+			return math.MaxUint64
+		}
+		return uint64(interp) << uint(shift)
+	default:
+		s := uint(-shift)
+		if s >= 63 {
+			return 0
+		}
+		return uint64(interp) >> s
+	}
+}
+
+// LnFix computes ln(u) for u in Q32.32, returning Q16.16. LnFix(0) returns a
+// very negative sentinel (acts as -inf for the RPDU comparison
+// s_max - ln(denominator) <= ln(thr)).
+func LnFix(u uint64) int64 {
+	if u == 0 {
+		return math.MinInt64 / 4
+	}
+	// Normalize u = m * 2^e with Q2.30 mantissa m in [1, 2).
+	e := 0
+	m := u
+	for m >= uint64(2)<<lutFracBits {
+		m >>= 1
+		e++
+	}
+	for m < uint64(1)<<lutFracBits {
+		m <<= 1
+		e--
+	}
+	e -= ExpOutFracBits - lutFracBits
+	// ln(u) = e*ln2 + ln(m). Invert the LUT with binary search plus linear
+	// interpolation.
+	lo, hi := 0, 1<<expLUTBits
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if uint64(expLUT[mid]) <= m {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	base := expLUT[lo]
+	next := expLUT[lo+1]
+	var fracR int64
+	if next > base {
+		fracR = (int64(m) - base) * ln2Q16 / ((next - base) << expLUTBits)
+	}
+	r := int64(lo)*ln2Q16>>expLUTBits + fracR
+	return int64(e)*ln2Q16 + r
+}
+
+// FloatToQ16 converts a float64 to Q16.16 with rounding and saturation.
+func FloatToQ16(x float64) int64 {
+	v := math.Round(x * float64(expOne))
+	const lim = int64(1) << 46
+	if v > float64(lim) {
+		return lim
+	}
+	if v < -float64(lim) {
+		return -lim
+	}
+	return int64(v)
+}
+
+// Q16ToFloat converts a Q16.16 value to float64.
+func Q16ToFloat(x int64) float64 {
+	return float64(x) / float64(expOne)
+}
+
+// FloatToQ32 converts a non-negative float64 to Q32.32 with saturation.
+func FloatToQ32(x float64) uint64 {
+	if x <= 0 {
+		return 0
+	}
+	v := x * float64(expOutOne)
+	if v >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	return uint64(v)
+}
+
+// Q32ToFloat converts an unsigned Q32.32 value to float64.
+func Q32ToFloat(u uint64) float64 {
+	return float64(u) / float64(expOutOne)
+}
+
+// AddSat adds two Q32.32 values with saturation, modeling the DAG
+// accumulator which clamps instead of wrapping.
+func AddSat(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return math.MaxUint64
+	}
+	return s
+}
+
+// SubFloor subtracts b from a, flooring at zero (the DAG removes a pruned
+// token's contribution; rounding can make b marginally exceed a).
+func SubFloor(a, b uint64) uint64 {
+	if b >= a {
+		return 0
+	}
+	return a - b
+}

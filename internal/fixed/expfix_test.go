@@ -1,0 +1,135 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpFixAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 2000; trial++ {
+		x := rng.Float64()*42 - 21 // [-21, 21]
+		got := Q32ToFloat(ExpFix(FloatToQ16(x)))
+		want := math.Exp(x)
+		// Tolerance: relative 2^-12 plus a couple of output ulps for the
+		// deeply-underflowed region.
+		tol := want/4096 + 4.0/float64(expOutOne)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("exp(%g): got %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestExpFixSaturation(t *testing.T) {
+	if ExpFix(ExpMinInput-1) != 0 {
+		t.Error("exp below min input should flush to zero")
+	}
+	hi := ExpFix(ExpMaxInput + 1000)
+	if hi != ExpFix(ExpMaxInput) {
+		t.Error("exp above max input should saturate")
+	}
+	if got := ExpFix(0); got != expOutOne {
+		t.Errorf("exp(0) = %d, want %d (1.0 in Q32.32)", got, expOutOne)
+	}
+}
+
+func TestExpFixMonotone(t *testing.T) {
+	prev := uint64(0)
+	for x := int64(ExpMinInput); x <= int64(ExpMaxInput); x += 1 << 10 {
+		v := ExpFix(x)
+		if v < prev {
+			t.Fatalf("ExpFix not monotone at x=%g: %d < %d", Q16ToFloat(x), v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLnFixAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 2000; trial++ {
+		u := math.Exp(rng.Float64()*30 - 10) // (~4.5e-5, ~4.8e8)
+		q := FloatToQ32(u)
+		if q == 0 {
+			continue
+		}
+		got := Q16ToFloat(LnFix(q))
+		want := math.Log(Q32ToFloat(q))
+		if math.Abs(got-want) > 1e-3 {
+			t.Fatalf("ln(%g): got %g, want %g", u, got, want)
+		}
+	}
+}
+
+func TestLnFixZero(t *testing.T) {
+	if LnFix(0) >= 0 {
+		t.Error("LnFix(0) should be a very negative sentinel")
+	}
+}
+
+func TestExpLnRoundTrip(t *testing.T) {
+	for _, x := range []float64{-15, -5, -1, 0, 0.5, 1, 3, 10, 20} {
+		q := FloatToQ16(x)
+		back := Q16ToFloat(LnFix(ExpFix(q)))
+		tol := 2e-3
+		if x < -10 {
+			tol = 0.05 // few mantissa bits survive deep underflow
+		}
+		if math.Abs(back-x) > tol {
+			t.Errorf("ln(exp(%g)) = %g", x, back)
+		}
+	}
+}
+
+func TestQ16Conversions(t *testing.T) {
+	for _, x := range []float64{0, 1, -1, 0.0001, 1234.5678, -9999.25} {
+		if got := Q16ToFloat(FloatToQ16(x)); math.Abs(got-x) > 1.0/65536 {
+			t.Errorf("Q16 round trip of %g: got %g", x, got)
+		}
+	}
+}
+
+func TestAddSatSubFloor(t *testing.T) {
+	if AddSat(math.MaxUint64, 1) != math.MaxUint64 {
+		t.Error("AddSat should saturate")
+	}
+	if AddSat(1, 2) != 3 {
+		t.Error("AddSat(1,2) != 3")
+	}
+	if SubFloor(5, 7) != 0 {
+		t.Error("SubFloor should floor at 0")
+	}
+	if SubFloor(7, 5) != 2 {
+		t.Error("SubFloor(7,5) != 2")
+	}
+}
+
+// The pruning comparison in the RPDU is s_max - ln(denominator) <= ln(thr).
+// Verify the fixed-point pipeline agrees with float64 on both sides of the
+// boundary for representative values.
+func TestFixedPointPruneComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	agree := 0
+	total := 0
+	for trial := 0; trial < 3000; trial++ {
+		smax := rng.Float64()*20 - 10
+		denom := math.Exp(rng.Float64()*16 - 2)
+		thr := math.Pow(10, -(rng.Float64()*4 + 1)) // 1e-1..1e-5
+		floatPrune := smax-math.Log(denom) <= math.Log(thr)
+		fxPrune := FloatToQ16(smax)-LnFix(FloatToQ32(denom)) <= FloatToQ16(math.Log(thr))
+		total++
+		if floatPrune == fxPrune {
+			agree++
+		} else {
+			// Disagreements must be boundary cases only.
+			margin := math.Abs(smax - math.Log(denom) - math.Log(thr))
+			if margin > 1e-2 {
+				t.Fatalf("prune disagreement far from boundary: smax=%g denom=%g thr=%g margin=%g",
+					smax, denom, thr, margin)
+			}
+		}
+	}
+	if float64(agree)/float64(total) < 0.999 {
+		t.Fatalf("fixed/float prune agreement too low: %d/%d", agree, total)
+	}
+}

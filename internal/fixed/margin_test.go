@@ -1,0 +1,162 @@
+package fixed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMarginSoundness is the core safety property of the paper: for any
+// query, key, and chunk index, the exact dot product lies inside
+// [partial+Min, partial+Max].
+func TestMarginSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 100; trial++ {
+			n := 4 + rng.Intn(96)
+			q := make(Vector, n)
+			k := make(Vector, n)
+			for i := range q {
+				q[i] = randVal(rng, cs.TotalBits)
+				k[i] = randVal(rng, cs.TotalBits)
+			}
+			m := NewMargins(cs, q)
+			exact := Dot(q, k)
+			for b := 0; b < cs.NumChunks(); b++ {
+				smin, smax := m.Interval(cs.PartialDot(q, k, b), b)
+				if exact < smin || exact > smax {
+					t.Fatalf("%+v b=%d: exact %d outside [%d,%d]", cs, b, exact, smin, smax)
+				}
+			}
+		}
+	}
+}
+
+// TestMarginNesting verifies that bounds tighten monotonically as chunks
+// arrive: s_min is non-decreasing and s_max non-increasing in b. This is
+// what lets the DAG aggregate only non-negative exp deltas.
+func TestMarginNesting(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 100; trial++ {
+			n := 4 + rng.Intn(96)
+			q := make(Vector, n)
+			k := make(Vector, n)
+			for i := range q {
+				q[i] = randVal(rng, cs.TotalBits)
+				k[i] = randVal(rng, cs.TotalBits)
+			}
+			m := NewMargins(cs, q)
+			prevMin := int64(-1) << 62
+			prevMax := int64(1) << 62
+			for b := 0; b < cs.NumChunks(); b++ {
+				smin, smax := m.Interval(cs.PartialDot(q, k, b), b)
+				if smin < prevMin {
+					t.Fatalf("%+v b=%d: s_min regressed %d -> %d", cs, b, prevMin, smin)
+				}
+				if smax > prevMax {
+					t.Fatalf("%+v b=%d: s_max regressed %d -> %d", cs, b, prevMax, smax)
+				}
+				prevMin, prevMax = smin, smax
+			}
+		}
+	}
+}
+
+// TestMarginFinalExact verifies the interval collapses to the exact score at
+// the last chunk.
+func TestMarginFinalExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, cs := range allSpecs() {
+		for trial := 0; trial < 50; trial++ {
+			n := 4 + rng.Intn(60)
+			q := make(Vector, n)
+			k := make(Vector, n)
+			for i := range q {
+				q[i] = randVal(rng, cs.TotalBits)
+				k[i] = randVal(rng, cs.TotalBits)
+			}
+			m := NewMargins(cs, q)
+			last := cs.NumChunks() - 1
+			smin, smax := m.Interval(cs.PartialDot(q, k, last), last)
+			exact := Dot(q, k)
+			if smin != exact || smax != exact {
+				t.Fatalf("%+v: final interval [%d,%d] != exact %d", cs, smin, smax, exact)
+			}
+			if !m.Exact(last) {
+				t.Fatalf("%+v: Exact(last) = false", cs)
+			}
+			if m.Exact(last-1) && cs.NumChunks() > 1 {
+				t.Fatalf("%+v: Exact(last-1) = true", cs)
+			}
+		}
+	}
+}
+
+// TestMarginTightness: the bounds must be achievable, i.e. there exists a
+// key completion attaining s_max (all unknown bits 1 where q>0, 0 where q<0)
+// and one attaining s_min. We check the paper's Fig 4b example style cases.
+func TestMarginTightness(t *testing.T) {
+	cs := DefaultChunkSpec
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(28)
+		q := make(Vector, n)
+		for i := range q {
+			q[i] = randVal(rng, cs.TotalBits)
+		}
+		m := NewMargins(cs, q)
+		for b := 0; b < cs.NumChunks()-1; b++ {
+			u := int16(cs.UnknownAfter(b))
+			// Build the best-case and worst-case completions of an all-zero
+			// known prefix.
+			kMax := make(Vector, n)
+			kMin := make(Vector, n)
+			for i := range q {
+				if q[i] > 0 {
+					kMax[i] = u
+				} else {
+					kMin[i] = u
+				}
+			}
+			pm := m.Pair(b)
+			if got := Dot(q, kMax); got != pm.Max {
+				t.Fatalf("b=%d: max margin %d not attained (best completion %d)", b, pm.Max, got)
+			}
+			if got := Dot(q, kMin); got != pm.Min {
+				t.Fatalf("b=%d: min margin %d not attained (worst completion %d)", b, pm.Min, got)
+			}
+		}
+	}
+}
+
+func TestMarginSignProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		q := make(Vector, len(raw))
+		for i, r := range raw {
+			q[i] = r % 2048
+		}
+		m := NewMargins(DefaultChunkSpec, q)
+		for b := 0; b < DefaultChunkSpec.NumChunks(); b++ {
+			p := m.Pair(b)
+			if p.Min > 0 || p.Max < 0 {
+				return false
+			}
+		}
+		// Last chunk margins are exactly zero.
+		last := m.Pair(DefaultChunkSpec.NumChunks() - 1)
+		return last.Min == 0 && last.Max == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySums(t *testing.T) {
+	q := Vector{5, -3, 0, 7, -2}
+	m := NewMargins(DefaultChunkSpec, q)
+	pos, neg := m.QuerySums()
+	if pos != 12 || neg != -5 {
+		t.Fatalf("QuerySums = (%d,%d), want (12,-5)", pos, neg)
+	}
+}

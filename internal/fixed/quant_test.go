@@ -1,0 +1,153 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float32, 64)
+		for i := range xs {
+			xs[i] = float32(rng.NormFloat64() * 3)
+		}
+		q := Quantize(xs, 12)
+		back := q.Dequantize()
+		for i := range xs {
+			if diff := math.Abs(float64(xs[i] - back[i])); diff > q.Scale/2+1e-9 {
+				t.Fatalf("trial %d elem %d: round-trip error %g exceeds scale/2=%g",
+					trial, i, diff, q.Scale/2)
+			}
+		}
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	q := Quantize(make([]float32, 8), 12)
+	for i, v := range q.Data {
+		if v != 0 {
+			t.Fatalf("elem %d: got %d, want 0", i, v)
+		}
+	}
+	if q.Scale != 1 {
+		t.Fatalf("zero-vector scale = %g, want 1", q.Scale)
+	}
+}
+
+func TestQuantizeRange(t *testing.T) {
+	for _, bits := range []uint{4, 8, 12} {
+		xs := []float32{-100, -1, 0, 1, 100}
+		q := Quantize(xs, bits)
+		lim := int16(1)<<(bits-1) - 1
+		for i, v := range q.Data {
+			if v > lim || v < -lim-1 {
+				t.Fatalf("bits=%d elem %d: value %d outside [%d,%d]", bits, i, v, -lim-1, lim)
+			}
+		}
+	}
+}
+
+func TestQuantizeWithSharedScale(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{0.5, -0.5, 0.25}
+	scale := ScaleFor(3, 12)
+	qa := QuantizeWithScale(a, 12, scale)
+	qb := QuantizeWithScale(b, 12, scale)
+	if qa.Scale != qb.Scale {
+		t.Fatalf("scales differ: %g vs %g", qa.Scale, qb.Scale)
+	}
+	// Dot product in integer domain times scale^2 approximates float dot.
+	want := float64(1*0.5 + 2*-0.5 + 3*0.25)
+	got := float64(Dot(qa.Data, qb.Data)) * scale * scale
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("shared-scale dot = %g, want ~%g", got, want)
+	}
+}
+
+func TestQuantizeWithScalePanics(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("QuantizeWithScale(scale=%v) did not panic", bad)
+				}
+			}()
+			QuantizeWithScale([]float32{1}, 12, bad)
+		}()
+	}
+}
+
+func TestDotMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 16 + rng.Intn(64)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float64
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+			want += float64(a[i]) * float64(b[i])
+		}
+		qa := Quantize(a, 12)
+		qb := Quantize(b, 12)
+		got := float64(Dot(qa.Data, qb.Data)) * qa.Scale * qb.Scale
+		// 12-bit quantization error on a dot of ~n terms.
+		tol := float64(n) * (qa.Scale + qb.Scale)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("trial %d: dot %g vs float %g (tol %g)", trial, got, want, tol)
+		}
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot(Vector{1, 2}, Vector{1})
+}
+
+func TestMaxMag(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{}, 0},
+		{Vector{0}, 0},
+		{Vector{3, -5, 2}, 5},
+		{Vector{-2048, 2047}, 2048},
+	}
+	for i, c := range cases {
+		if got := c.v.MaxMag(); got != c.want {
+			t.Errorf("case %d: MaxMag=%d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestQuantizePropertyBounded(t *testing.T) {
+	// Property: every quantized element is within scale/2 of its source.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float32, len(raw))
+		for i, r := range raw {
+			xs[i] = float32(r) / 97.0
+		}
+		q := Quantize(xs, 12)
+		for i := range xs {
+			if math.Abs(float64(xs[i])-q.Scale*float64(q.Data[i])) > q.Scale/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tokenpicker/internal/tensor"
+)
+
+// Kernel computes one attention head's output for a single decode query.
+// Implementations range from exact softmax to the Token-Picker estimator.
+//
+// keys and vals hold n valid rows of HeadDim columns (rows beyond n are
+// stale). The raw score for key i is scale*dot(q, keys[i]) - slope*(n-1-i)
+// (the subtrahend is the ALiBi recency bias; the query is always the newest
+// position n-1). The kernel writes the weighted value sum into out.
+type Kernel interface {
+	Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int)
+}
+
+// ExactKernel is the reference full-softmax attention used during the prompt
+// phase and by the float baseline.
+type ExactKernel struct {
+	scores []float32 // scratch
+	probs  []float32 // scratch
+}
+
+// Attend implements Kernel with exact float32 softmax attention.
+func (k *ExactKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+	if cap(k.scores) < n {
+		k.scores = make([]float32, n)
+		k.probs = make([]float32, n)
+	}
+	scores := k.scores[:n]
+	probs := k.probs[:n]
+	for i := 0; i < n; i++ {
+		scores[i] = scale*tensor.Dot(q, keys.Row(i)[:len(q)]) - slope*float32(n-1-i)
+	}
+	tensor.Softmax(probs, scores)
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		tensor.Axpy(probs[i], vals.Row(i)[:len(out)], out)
+	}
+}
+
+// Scores computes the raw attention scores without the softmax; experiment
+// code uses this to inspect distributions (paper Fig. 3).
+func Scores(q []float32, keys *tensor.Mat, n int, scale, slope float32) []float32 {
+	scores := make([]float32, n)
+	for i := 0; i < n; i++ {
+		scores[i] = scale*tensor.Dot(q, keys.Row(i)[:len(q)]) - slope*float32(n-1-i)
+	}
+	return scores
+}
+
+// headCache is the KV cache for one (layer, head).
+type headCache struct {
+	K, V *tensor.Mat // MaxSeq x HeadDim
+}
+
+// Decoder runs token-by-token generation with a KV cache, delegating the
+// attention weighted-sum to a Kernel. The prompt phase always uses exact
+// attention (the paper preloads all K/V on-chip during prompt and applies
+// pruning only to the memory-bound generation phase).
+type Decoder struct {
+	P      *Params
+	Kernel Kernel
+	n      int // tokens consumed so far
+	caches [][]headCache
+	exact  ExactKernel
+
+	// scratch buffers
+	x, h, attnOut, tmp []float32
+	ffnH               []float32
+	q                  []float32
+	logits             []float32
+}
+
+// NewDecoder creates a decoder with the given attention kernel for the
+// generation phase. kernel may be nil, which means exact attention
+// everywhere.
+func NewDecoder(p *Params, kernel Kernel) *Decoder {
+	d := p.Cfg.DModel()
+	dec := &Decoder{
+		P:       p,
+		Kernel:  kernel,
+		x:       make([]float32, d),
+		h:       make([]float32, d),
+		attnOut: make([]float32, d),
+		tmp:     make([]float32, d),
+		ffnH:    make([]float32, p.Cfg.FFNDim()),
+		q:       make([]float32, d),
+		logits:  make([]float32, p.Cfg.VocabSize),
+	}
+	dec.caches = make([][]headCache, p.Cfg.Layers)
+	for l := range dec.caches {
+		dec.caches[l] = make([]headCache, p.Cfg.Heads)
+		for h := range dec.caches[l] {
+			dec.caches[l][h] = headCache{
+				K: tensor.NewMat(p.Cfg.MaxSeq, p.Cfg.HeadDim),
+				V: tensor.NewMat(p.Cfg.MaxSeq, p.Cfg.HeadDim),
+			}
+		}
+	}
+	return dec
+}
+
+// Reset clears the KV cache for a new sequence.
+func (dec *Decoder) Reset() { dec.n = 0 }
+
+// Len returns the number of tokens consumed.
+func (dec *Decoder) Len() int { return dec.n }
+
+// Cache exposes the K and V cache matrices for (layer, head); rows [0, Len)
+// are valid. The experiment harness reads these to build accelerator traces.
+func (dec *Decoder) Cache(layer, head int) (keys, vals *tensor.Mat) {
+	c := dec.caches[layer][head]
+	return c.K, c.V
+}
+
+// Prompt consumes the prompt tokens with exact attention, filling the KV
+// cache. It returns the logits after the final prompt token.
+func (dec *Decoder) Prompt(tokens []int) []float32 {
+	var logits []float32
+	for _, t := range tokens {
+		logits = dec.step(t, &dec.exact)
+	}
+	return logits
+}
+
+// Step consumes one generation-phase token and returns next-token logits.
+// The configured kernel handles attention; nil means exact.
+func (dec *Decoder) Step(token int) []float32 {
+	k := dec.Kernel
+	if k == nil {
+		k = &dec.exact
+	}
+	return dec.step(token, k)
+}
+
+func (dec *Decoder) step(token int, kernel Kernel) []float32 {
+	cfg := dec.P.Cfg
+	if token < 0 || token >= cfg.VocabSize {
+		panic(fmt.Sprintf("model: token %d out of vocab range", token))
+	}
+	if dec.n >= cfg.MaxSeq {
+		panic(fmt.Sprintf("model: context overflow at %d (max %d)", dec.n, cfg.MaxSeq))
+	}
+	hd := cfg.HeadDim
+	pos := dec.n
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	copy(dec.x, dec.P.TokEmb.Row(token))
+	for l, b := range dec.P.Blocks {
+		// Attention sublayer.
+		tensor.LayerNorm(dec.h, dec.x, b.Ln1G, b.Ln1B, cfg.Eps)
+		tensor.MatVec(dec.q, b.Wq, dec.h)
+		tensor.Add(dec.q, dec.q, b.Bq)
+		tensor.MatVec(dec.tmp, b.Wk, dec.h)
+		tensor.Add(dec.tmp, dec.tmp, b.Bk)
+		for hIdx := 0; hIdx < cfg.Heads; hIdx++ {
+			copy(dec.caches[l][hIdx].K.Row(pos), dec.tmp[hIdx*hd:(hIdx+1)*hd])
+		}
+		tensor.MatVec(dec.tmp, b.Wv, dec.h)
+		tensor.Add(dec.tmp, dec.tmp, b.Bv)
+		for hIdx := 0; hIdx < cfg.Heads; hIdx++ {
+			copy(dec.caches[l][hIdx].V.Row(pos), dec.tmp[hIdx*hd:(hIdx+1)*hd])
+		}
+		for hIdx := 0; hIdx < cfg.Heads; hIdx++ {
+			c := dec.caches[l][hIdx]
+			kernel.Attend(dec.attnOut[hIdx*hd:(hIdx+1)*hd], dec.q[hIdx*hd:(hIdx+1)*hd],
+				c.K, c.V, pos+1, scale, cfg.AlibiSlope(hIdx), l, hIdx)
+		}
+		tensor.MatVec(dec.tmp, b.Wo, dec.attnOut)
+		tensor.Add(dec.tmp, dec.tmp, b.Bo)
+		tensor.Add(dec.x, dec.x, dec.tmp)
+
+		// FFN sublayer.
+		tensor.LayerNorm(dec.h, dec.x, b.Ln2G, b.Ln2B, cfg.Eps)
+		tensor.MatVec(dec.ffnH, b.W1, dec.h)
+		tensor.Add(dec.ffnH, dec.ffnH, b.B1)
+		tensor.GELU(dec.ffnH)
+		tensor.MatVec(dec.tmp, b.W2, dec.ffnH)
+		tensor.Add(dec.tmp, dec.tmp, b.B2)
+		tensor.Add(dec.x, dec.x, dec.tmp)
+	}
+	tensor.LayerNorm(dec.h, dec.x, dec.P.LnFG, dec.P.LnFB, cfg.Eps)
+	tensor.MatVec(dec.logits, dec.P.TokEmb, dec.h)
+	dec.n++
+	return dec.logits
+}

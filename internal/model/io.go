@@ -1,0 +1,163 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Weight serialization: a compact little-endian binary format so trained
+// stand-in models can be checkpointed and shared between the experiment
+// binary and the benchmarks without retraining.
+//
+// Layout:
+//
+//	magic "TPK1" | config block | per-slice: name len, name, data len, f32...
+//	| crc32 of everything after the magic
+const paramsMagic = "TPK1"
+
+// WriteTo serializes the parameters. It returns the byte count written.
+func (p *Params) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(cw, crc)
+
+	if _, err := cw.Write([]byte(paramsMagic)); err != nil {
+		return cw.n, err
+	}
+	cfg := p.Cfg
+	hdr := []int64{
+		int64(cfg.VocabSize), int64(cfg.Layers), int64(cfg.Heads),
+		int64(cfg.HeadDim), int64(cfg.FFNMult), int64(cfg.MaxSeq),
+		int64(math.Float32bits(cfg.Eps)),
+	}
+	if err := binary.Write(mw, binary.LittleEndian, int64(len(cfg.Name))); err != nil {
+		return cw.n, err
+	}
+	if _, err := mw.Write([]byte(cfg.Name)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, hdr); err != nil {
+		return cw.n, err
+	}
+
+	var werr error
+	p.VisitSlices(func(name string, data []float32) {
+		if werr != nil {
+			return
+		}
+		if werr = binary.Write(mw, binary.LittleEndian, int64(len(name))); werr != nil {
+			return
+		}
+		if _, werr = mw.Write([]byte(name)); werr != nil {
+			return
+		}
+		if werr = binary.Write(mw, binary.LittleEndian, int64(len(data))); werr != nil {
+			return
+		}
+		werr = binary.Write(mw, binary.LittleEndian, data)
+	})
+	if werr != nil {
+		return cw.n, werr
+	}
+	if err := binary.Write(cw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadParams deserializes parameters written by WriteTo, verifying the
+// checksum and that every expected slice is present with the right shape.
+func ReadParams(r io.Reader) (*Params, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(paramsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("model: reading magic: %w", err)
+	}
+	if string(magic) != paramsMagic {
+		return nil, fmt.Errorf("model: bad magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+
+	var nameLen int64
+	if err := binary.Read(tr, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("model: config name length: %w", err)
+	}
+	if nameLen < 0 || nameLen > 1<<16 {
+		return nil, fmt.Errorf("model: implausible name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(tr, nameBuf); err != nil {
+		return nil, fmt.Errorf("model: config name: %w", err)
+	}
+	hdr := make([]int64, 7)
+	if err := binary.Read(tr, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("model: config block: %w", err)
+	}
+	cfg := Config{
+		Name:      string(nameBuf),
+		VocabSize: int(hdr[0]), Layers: int(hdr[1]), Heads: int(hdr[2]),
+		HeadDim: int(hdr[3]), FFNMult: int(hdr[4]), MaxSeq: int(hdr[5]),
+		Eps: math.Float32frombits(uint32(hdr[6])),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("model: deserialized config: %w", err)
+	}
+	p := NewParams(cfg, 0)
+
+	want := map[string][]float32{}
+	p.VisitSlices(func(name string, data []float32) { want[name] = data })
+	total := len(want)
+	for s := 0; s < total; s++ {
+		var nl int64
+		if err := binary.Read(tr, binary.LittleEndian, &nl); err != nil {
+			return nil, fmt.Errorf("model: slice name length: %w", err)
+		}
+		if nl < 0 || nl > 1<<12 {
+			return nil, fmt.Errorf("model: implausible slice name length %d", nl)
+		}
+		nb := make([]byte, nl)
+		if _, err := io.ReadFull(tr, nb); err != nil {
+			return nil, fmt.Errorf("model: slice name: %w", err)
+		}
+		dst, ok := want[string(nb)]
+		if !ok {
+			return nil, fmt.Errorf("model: unknown slice %q", nb)
+		}
+		var dl int64
+		if err := binary.Read(tr, binary.LittleEndian, &dl); err != nil {
+			return nil, fmt.Errorf("model: slice %q length: %w", nb, err)
+		}
+		if int(dl) != len(dst) {
+			return nil, fmt.Errorf("model: slice %q has %d elements, want %d", nb, dl, len(dst))
+		}
+		if err := binary.Read(tr, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("model: slice %q data: %w", nb, err)
+		}
+		delete(want, string(nb))
+	}
+	sum := crc.Sum32()
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("model: checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("model: checksum mismatch: stored %08x, computed %08x", stored, sum)
+	}
+	return p, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.w.Write(b)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParamsRoundTrip(t *testing.T) {
+	p := NewParams(TestConfig(), 42)
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatalf("ReadParams: %v", err)
+	}
+	if got.Cfg != p.Cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Cfg, p.Cfg)
+	}
+	orig := map[string][]float32{}
+	p.VisitSlices(func(name string, s []float32) { orig[name] = s })
+	got.VisitSlices(func(name string, s []float32) {
+		for i := range s {
+			if s[i] != orig[name][i] {
+				t.Fatalf("slice %s differs at %d", name, i)
+			}
+		}
+	})
+}
+
+func TestParamsRoundTripProducesIdenticalLogits(t *testing.T) {
+	p := NewParams(TestConfig(), 7)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := NewDecoder(p, nil)
+	d2 := NewDecoder(q, nil)
+	toks := []int{1, 5, 9, 2, 4}
+	l1 := d1.Prompt(toks)
+	l2 := d2.Prompt(toks)
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("logit %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadParamsRejectsCorruption(t *testing.T) {
+	p := NewParams(TestConfig(), 1)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadParams(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Flipped weight byte: checksum must catch it.
+	bad = append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := ReadParams(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "slice") {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+
+	// Truncation.
+	if _, err := ReadParams(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestReadParamsEmptyStream(t *testing.T) {
+	if _, err := ReadParams(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

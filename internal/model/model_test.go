@@ -1,0 +1,163 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"tokenpicker/internal/tensor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := TestConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	bad := []Config{
+		{Name: "v", VocabSize: 1, Layers: 1, Heads: 1, HeadDim: 8, FFNMult: 1, MaxSeq: 16, Eps: 1e-5},
+		{Name: "l", VocabSize: 8, Layers: 0, Heads: 1, HeadDim: 8, FFNMult: 1, MaxSeq: 16, Eps: 1e-5},
+		{Name: "h", VocabSize: 8, Layers: 1, Heads: 0, HeadDim: 8, FFNMult: 1, MaxSeq: 16, Eps: 1e-5},
+		{Name: "d", VocabSize: 8, Layers: 1, Heads: 1, HeadDim: 2, FFNMult: 1, MaxSeq: 16, Eps: 1e-5},
+		{Name: "e", VocabSize: 8, Layers: 1, Heads: 1, HeadDim: 8, FFNMult: 1, MaxSeq: 16, Eps: 0},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %q should be invalid", c.Name)
+		}
+	}
+}
+
+func TestAlibiSlopesDecreasing(t *testing.T) {
+	cfg := Config{Heads: 4}
+	prev := float32(math.Inf(1))
+	for h := 0; h < 4; h++ {
+		s := cfg.AlibiSlope(h)
+		if s <= 0 || s >= 1 {
+			t.Fatalf("head %d slope %g out of (0,1)", h, s)
+		}
+		if s >= prev {
+			t.Fatalf("slopes must decrease: head %d slope %g >= %g", h, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestFamilyShape(t *testing.T) {
+	fam := Family()
+	if len(fam) != 8 {
+		t.Fatalf("family has %d members, want 8", len(fam))
+	}
+	for _, pm := range fam {
+		if err := pm.StandIn.Validate(); err != nil {
+			t.Errorf("%s stand-in invalid: %v", pm.Paper, err)
+		}
+		if pm.PaperLayers < 20 || pm.PaperDModel < 1000 {
+			t.Errorf("%s published shape looks wrong: %d layers, %d dmodel",
+				pm.Paper, pm.PaperLayers, pm.PaperDModel)
+		}
+	}
+	if GPT2Medium().PaperDModel != 1024 {
+		t.Error("GPT2-Medium shape wrong")
+	}
+}
+
+func TestParamsCount(t *testing.T) {
+	cfg := TestConfig()
+	p := NewParams(cfg, 1)
+	d := cfg.DModel()
+	f := cfg.FFNDim()
+	want := cfg.VocabSize*d + 2*d                                     // embedding + final LN
+	perBlock := 4*d /*ln*/ + 4*d*d + 4*d /*attn*/ + f*d + f + d*f + d /*ffn*/
+	want += cfg.Layers * perBlock
+	if got := p.NumParams(); got != want {
+		t.Fatalf("param count %d, want %d", got, want)
+	}
+}
+
+func TestVisitSlicesCoversEverything(t *testing.T) {
+	p := NewParams(TestConfig(), 2)
+	var visited int
+	p.VisitSlices(func(_ string, s []float32) { visited += len(s) })
+	if visited != p.NumParams() {
+		t.Fatalf("VisitSlices covers %d of %d params", visited, p.NumParams())
+	}
+}
+
+func TestDecoderDeterministicAndResettable(t *testing.T) {
+	p := NewParams(TestConfig(), 3)
+	dec := NewDecoder(p, nil)
+	toks := []int{1, 2, 3, 4, 5}
+	first := append([]float32{}, dec.Prompt(toks)...)
+	dec.Reset()
+	second := dec.Prompt(toks)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset decoder diverged at logit %d", i)
+		}
+	}
+	if dec.Len() != len(toks) {
+		t.Fatalf("len %d, want %d", dec.Len(), len(toks))
+	}
+}
+
+func TestDecoderPanicsOnBadToken(t *testing.T) {
+	p := NewParams(TestConfig(), 3)
+	dec := NewDecoder(p, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-vocab token should panic")
+		}
+	}()
+	dec.Step(p.Cfg.VocabSize)
+}
+
+func TestKernelSeesGrowingContext(t *testing.T) {
+	p := NewParams(TestConfig(), 4)
+	probe := &probeKernel{}
+	dec := NewDecoder(p, probe)
+	dec.Prompt([]int{1, 2})
+	for i := 0; i < 4; i++ {
+		dec.Step(3)
+	}
+	// Prompt uses exact attention (kernel not called); generation calls it
+	// layers*heads times per step with n = 3, 4, 5, 6.
+	cfg := p.Cfg
+	wantCalls := 4 * cfg.Layers * cfg.Heads
+	if len(probe.ns) != wantCalls {
+		t.Fatalf("kernel called %d times, want %d", len(probe.ns), wantCalls)
+	}
+	for i, n := range probe.ns {
+		step := i / (cfg.Layers * cfg.Heads)
+		if n != 3+step {
+			t.Fatalf("call %d saw context %d, want %d", i, n, 3+step)
+		}
+	}
+}
+
+type probeKernel struct {
+	inner ExactKernel
+	ns    []int
+}
+
+func (pk *probeKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+	pk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
+	pk.ns = append(pk.ns, n)
+}
+
+func TestScoresHelper(t *testing.T) {
+	p := NewParams(TestConfig(), 5)
+	dec := NewDecoder(p, nil)
+	dec.Prompt([]int{1, 2, 3})
+	keys, _ := dec.Cache(0, 0)
+	q := make([]float32, p.Cfg.HeadDim)
+	q[0] = 1
+	scores := Scores(q, keys, 3, 1, 0.5)
+	if len(scores) != 3 {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	// Recency bias: same dot product would rank the newest token higher.
+	zero := make([]float32, p.Cfg.HeadDim)
+	s := Scores(zero, keys, 3, 1, 0.5)
+	if !(s[2] > s[1] && s[1] > s[0]) {
+		t.Fatalf("ALiBi bias not monotone: %v", s)
+	}
+}

@@ -1,0 +1,115 @@
+// Package arch is the cycle-level model of the ToPick accelerator (paper
+// §4, Fig. 6/7) and of the baseline accelerator it is compared against.
+//
+// Simulation style: functional/timing split. The pruning decisions for an
+// instance come from core.Estimator (the same code the algorithm evaluation
+// uses), so the bytes the timing model moves agree exactly with the
+// algorithmic accounting. The timing model is an event-driven simulation of
+// 16 PE lanes fed by the dram package: chunk requests carry real bank/row/
+// bus latency, lanes process one chunk per cycle, the scoreboard bounds
+// per-lane outstanding tokens, and the four configurations differ only in
+// scheduling:
+//
+//	ModeBaseline      full 12-bit K and V vectors for every token, streamed.
+//	ModeProbEst       full K streamed; probability estimation on exact
+//	                  scores prunes V fetches ("ToPick-K,V" in Fig. 10:
+//	                  the V-pruning-only design point).
+//	ModeToPick        chunked on-demand K with out-of-order processing
+//	                  against the Scoreboard, V pruned (the full design).
+//	ModeToPickInOrder ablation: chunked on-demand K with blocking requests
+//	                  (one outstanding per lane) — demonstrates why §3.2's
+//	                  out-of-order calculation is necessary.
+package arch
+
+import (
+	"fmt"
+
+	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/sim/dram"
+)
+
+// Mode selects the accelerator configuration.
+type Mode int
+
+const (
+	ModeBaseline Mode = iota
+	ModeProbEst
+	ModeToPick
+	ModeToPickInOrder
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeProbEst:
+		return "prob-est"
+	case ModeToPick:
+		return "topick"
+	case ModeToPickInOrder:
+		return "topick-inorder"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the accelerator simulation.
+type Config struct {
+	Mode Mode
+	// Lanes is the PE lane count (16 in the paper).
+	Lanes int
+	// ScoreboardEntries bounds outstanding tokens per lane in ModeToPick
+	// (32 in the paper).
+	ScoreboardEntries int
+	// StreamWindow bounds outstanding streamed requests per lane for
+	// address-known phases (K streaming in baseline/prob-est, V fetches).
+	StreamWindow int
+	// Threshold is the pruning threshold for the estimating modes.
+	Threshold float64
+	// Chunks is the K bit-chunk layout.
+	Chunks fixed.ChunkSpec
+	// DRAM is the memory-system configuration.
+	DRAM dram.Config
+	// DRAMRatio is DRAM command-clock cycles per core cycle (2 for a
+	// 500 MHz core against a 1 GHz HBM2 command clock).
+	DRAMRatio int
+	// EpilogueCycles models the fixed per-instance tail (final softmax
+	// normalization, output drain).
+	EpilogueCycles int
+}
+
+// DefaultConfig returns the paper's hardware configuration in the given
+// mode at the given threshold.
+func DefaultConfig(mode Mode, threshold float64) Config {
+	return Config{
+		Mode:              mode,
+		Lanes:             16,
+		ScoreboardEntries: 32,
+		StreamWindow:      32,
+		Threshold:         threshold,
+		Chunks:            fixed.DefaultChunkSpec,
+		DRAM:              dram.HBM2Config(),
+		DRAMRatio:         2,
+		EpilogueCycles:    16,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.Lanes < 1 {
+		return fmt.Errorf("arch: need at least one lane")
+	}
+	if c.ScoreboardEntries < 1 {
+		return fmt.Errorf("arch: scoreboard must have at least one entry")
+	}
+	if c.StreamWindow < 1 {
+		return fmt.Errorf("arch: stream window must be at least 1")
+	}
+	if c.DRAMRatio < 1 {
+		return fmt.Errorf("arch: dram ratio must be at least 1")
+	}
+	if err := c.Chunks.Validate(); err != nil {
+		return err
+	}
+	return c.DRAM.Validate()
+}

@@ -1,0 +1,88 @@
+package arch
+
+import "container/heap"
+
+// eventKind discriminates simulation events.
+type eventKind uint8
+
+const (
+	evSubmit  eventKind = iota // issue a DRAM request
+	evArrival                  // data arrived at a lane
+	evProcess                  // lane attempts to process its inbox
+)
+
+// event is one scheduled simulation action. Interpretation of token/chunk
+// depends on kind.
+type event struct {
+	at    int64 // core cycle
+	kind  eventKind
+	lane  int
+	token int
+	chunk int
+	bytes int
+	addr  uint64
+	seq   int64 // tie-breaker for deterministic ordering
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue struct {
+	items []event
+	seq   int64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) Push(x any)    { q.items = append(q.items, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *eventQueue) schedule(e event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+func (q *eventQueue) next() (event, bool) {
+	if q.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}
+
+// arrivalHeap orders a lane's arrived-but-unprocessed chunks by arrival time.
+type arrival struct {
+	at    int64
+	token int
+	chunk int
+	seq   int64
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

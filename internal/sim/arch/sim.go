@@ -1,0 +1,362 @@
+package arch
+
+import (
+	"container/heap"
+
+	"tokenpicker/internal/core"
+	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/sim/dram"
+	"tokenpicker/internal/sim/energy"
+	"tokenpicker/internal/sim/sram"
+)
+
+// Instance is one attention workload: a query against n cached keys. The
+// value vectors are never needed numerically by the timing model — only
+// their size moves through the memory system — so the instance carries the
+// estimator inputs plus the head dimension.
+type Instance struct {
+	In  core.Inputs
+	Dim int
+}
+
+// Result summarizes the simulation of one instance (or an accumulation of
+// many; see Accumulate).
+type Result struct {
+	Cycles    int64 // end-to-end core cycles
+	KBytes    int64
+	VBytes    int64
+	N         int   // context tokens
+	Kept      int   // tokens whose V was fetched
+	LaneBusy  int64 // total lane compute cycles across lanes
+	Instances int
+	Energy    energy.Breakdown
+	DRAM      dram.Stats
+}
+
+// Accumulate adds o into r.
+func (r *Result) Accumulate(o Result) {
+	r.Cycles += o.Cycles
+	r.KBytes += o.KBytes
+	r.VBytes += o.VBytes
+	r.N += o.N
+	r.Kept += o.Kept
+	r.LaneBusy += o.LaneBusy
+	r.Instances += o.Instances
+	r.Energy.Add(o.Energy)
+	r.DRAM.Requests += o.DRAM.Requests
+	r.DRAM.Bytes += o.DRAM.Bytes
+	r.DRAM.RowHits += o.DRAM.RowHits
+	r.DRAM.RowMisses += o.DRAM.RowMisses
+	r.DRAM.BusyCycles += o.DRAM.BusyCycles
+	r.DRAM.EnergyPJ += o.DRAM.EnergyPJ
+}
+
+// Utilization returns mean lane occupancy during the run.
+func (r *Result) Utilization(lanes int) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.LaneBusy) / float64(r.Cycles*int64(lanes))
+}
+
+// fetch is one memory transfer a job performs.
+type fetch struct {
+	addr  uint64
+	bytes int
+}
+
+// job is a dependent chain of fetches: fetch f+1 is requested only after
+// fetch f has been processed (on-demand chunk semantics). Single-fetch jobs
+// model streamed accesses.
+type job struct {
+	fetches []fetch
+}
+
+// Sim simulates the accelerator. Instances run back to back on a shared
+// memory system; the internal clock and address cursor advance across
+// RunInstance calls.
+type Sim struct {
+	cfg  Config
+	mem  *dram.Sim
+	est  *core.Estimator
+	now  int64
+	base uint64
+
+	operand    *sram.Buffer
+	scoreboard *sram.Buffer
+	streamBuf  *sram.Buffer
+}
+
+// New builds a simulator; returns an error on invalid config.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	estCfg := core.DefaultConfig(cfg.Threshold)
+	estCfg.Chunks = cfg.Chunks
+	if cfg.Mode == ModeBaseline {
+		estCfg.Threshold = 0
+	}
+	if cfg.Mode == ModeProbEst {
+		// Probability estimation on exact scores: single-chunk keys.
+		estCfg.Chunks = fixed.ChunkSpec{TotalBits: cfg.Chunks.TotalBits, ChunkBits: cfg.Chunks.TotalBits}
+	}
+	est, err := core.NewEstimator(estCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{
+		cfg:        cfg,
+		mem:        dram.New(cfg.DRAM),
+		est:        est,
+		operand:    sram.DefaultOperand(),
+		scoreboard: sram.DefaultScoreboard(0),
+		streamBuf:  sram.DefaultKV("stream"),
+	}, nil
+}
+
+// MustNew is New for static configs.
+func MustNew(cfg Config) *Sim {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulator configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Now returns the current core-cycle clock.
+func (s *Sim) Now() int64 { return s.now }
+
+// Report exposes the last pruning report (for trace tooling); returns the
+// estimator used, which callers must not mutate.
+func (s *Sim) Estimator() *core.Estimator { return s.est }
+
+// RunInstance simulates one attention instance and returns its metrics.
+func (s *Sim) RunInstance(inst Instance) Result {
+	n := len(inst.In.K)
+	res := Result{N: n, Instances: 1}
+	if n == 0 {
+		return res
+	}
+	cs := s.est.Config().Chunks
+	dramBefore := s.mem.Stats()
+	bufBefore := s.bufferEnergy()
+
+	rep := s.est.Run(inst.In)
+	vecBytes := cs.VectorBytes(inst.Dim)
+
+	// ---- Build the K-phase job list ----
+	kBase := s.base
+	var laneJobs [][]job
+	window := s.cfg.StreamWindow
+	switch s.cfg.Mode {
+	case ModeBaseline, ModeProbEst:
+		// Full 12-bit K vectors, token-major layout, streamed in order.
+		laneJobs = make([][]job, s.cfg.Lanes)
+		for i := 0; i < n; i++ {
+			l := i % s.cfg.Lanes
+			laneJobs[l] = append(laneJobs[l], job{fetches: []fetch{{
+				addr:  kBase + uint64(i*vecBytes),
+				bytes: vecBytes,
+			}}})
+		}
+		s.base += uint64(n * vecBytes)
+	default:
+		// Chunk-major layout: chunk b of all tokens is contiguous.
+		laneJobs = make([][]job, s.cfg.Lanes)
+		numChunks := cs.NumChunks()
+		for i := 0; i < n; i++ {
+			l := i % s.cfg.Lanes
+			stop := numChunks - 1
+			if p := rep.PrunedAtChunk[i]; p >= 0 {
+				stop = int(p)
+			}
+			fetches := make([]fetch, 0, stop+1)
+			for b := 0; b <= stop; b++ {
+				fetches = append(fetches, fetch{
+					addr:  kBase + uint64((b*n+i)*cs.ChunkBytes(inst.Dim, b)),
+					bytes: cs.ChunkBytes(inst.Dim, b),
+				})
+			}
+			laneJobs[l] = append(laneJobs[l], job{fetches: fetches})
+		}
+		var total int
+		for b := 0; b < numChunks; b++ {
+			total += n * cs.ChunkBytes(inst.Dim, b)
+		}
+		s.base += uint64(total)
+		window = s.cfg.ScoreboardEntries
+		if s.cfg.Mode == ModeToPickInOrder {
+			window = 1
+		}
+	}
+
+	kEnd, kBusy, kBytes := s.runPhase(s.now, laneJobs, window)
+	res.KBytes = kBytes
+
+	// ---- V phase: one streamed fetch per kept token ----
+	vBase := s.base
+	s.base += uint64(n * vecBytes)
+	vJobs := make([][]job, s.cfg.Lanes)
+	for _, i := range rep.Kept {
+		l := i % s.cfg.Lanes
+		vJobs[l] = append(vJobs[l], job{fetches: []fetch{{
+			addr:  vBase + uint64(i*vecBytes),
+			bytes: vecBytes,
+		}}})
+	}
+	vStart := kEnd + 2 // MUX network reconfiguration between step 0 and 1
+	vEnd, vBusy, vBytes := s.runPhase(vStart, vJobs, s.cfg.StreamWindow)
+	res.VBytes = vBytes
+	res.Kept = len(rep.Kept)
+
+	end := vEnd + int64(s.cfg.EpilogueCycles)
+	res.Cycles = end - s.now
+	res.LaneBusy = kBusy + vBusy
+	s.now = end
+
+	// ---- Energy ----
+	dramAfter := s.mem.Stats()
+	res.DRAM = dram.Stats{
+		Requests:   dramAfter.Requests - dramBefore.Requests,
+		Bytes:      dramAfter.Bytes - dramBefore.Bytes,
+		RowHits:    dramAfter.RowHits - dramBefore.RowHits,
+		RowMisses:  dramAfter.RowMisses - dramBefore.RowMisses,
+		BusyCycles: dramAfter.BusyCycles - dramBefore.BusyCycles,
+		EnergyPJ:   dramAfter.EnergyPJ - dramBefore.EnergyPJ,
+	}
+	res.Energy.DRAMPJ = res.DRAM.EnergyPJ
+	res.Energy.ComputePJ = s.computeEnergy(rep, kBusy, vBusy)
+	res.Energy.BufferPJ = s.bufferEnergy() - bufBefore +
+		float64(res.Cycles)*energy.BufferStaticPJPerCycle
+	return res
+}
+
+// computeEnergy charges the per-event energies of the active modules.
+func (s *Sim) computeEnergy(rep *core.Report, kBusy, vBusy int64) float64 {
+	e := float64(kBusy+vBusy) * (energy.LaneChunkPJ + energy.MuxPJ)
+	switch s.cfg.Mode {
+	case ModeBaseline:
+		// No estimation modules.
+	case ModeProbEst:
+		// Margin generator idle (exact scores); PEC + DAG + RPDU active
+		// once per token, ProbGen once per kept token.
+		e += float64(rep.N) * (energy.PECPJ + energy.DAGPJ + energy.RPDUPJ)
+		e += float64(len(rep.Kept)) * energy.ProbGenPJ
+	default:
+		var chunkEvents int64
+		for _, c := range rep.ChunkFetches {
+			chunkEvents += c
+		}
+		e += energy.MarginGenPJ
+		e += float64(chunkEvents) * (energy.PECPJ + energy.DAGPJ + energy.RPDUPJ + energy.ScoreboardPJ)
+		e += float64(len(rep.Kept)) * energy.ProbGenPJ
+	}
+	return e
+}
+
+func (s *Sim) bufferEnergy() float64 {
+	return s.operand.Stats().EnergyPJ + s.scoreboard.Stats().EnergyPJ + s.streamBuf.Stats().EnergyPJ
+}
+
+// runPhase executes one fetch/compute phase and returns the cycle at which
+// the last lane finished, the total compute cycles, and the bytes moved.
+func (s *Sim) runPhase(start int64, laneJobs [][]job, window int) (end int64, busy int64, bytes int64) {
+	end = start
+	q := &eventQueue{}
+	heap.Init(q)
+
+	type laneState struct {
+		jobs     []job
+		nextJob  int // next job whose first fetch has not been issued
+		inbox    arrivalHeap
+		freeAt   int64
+		inFlight int
+		issueAt  int64 // next allowed issue cycle (1 request/cycle/lane)
+	}
+	lanes := make([]laneState, len(laneJobs))
+	for l := range lanes {
+		lanes[l] = laneState{jobs: laneJobs[l], freeAt: start, issueAt: start}
+	}
+
+	issue := func(l int, jobIdx, fetchIdx int, t int64) {
+		ls := &lanes[l]
+		if t < ls.issueAt {
+			t = ls.issueAt
+		}
+		ls.issueAt = t + 1
+		ls.inFlight++
+		f := ls.jobs[jobIdx].fetches[fetchIdx]
+		q.schedule(event{at: t, kind: evSubmit, lane: l, token: jobIdx, chunk: fetchIdx, addr: f.addr, bytes: f.bytes})
+	}
+
+	// Prime each lane with up to window first fetches.
+	for l := range lanes {
+		ls := &lanes[l]
+		for ls.nextJob < len(ls.jobs) && ls.inFlight < window {
+			issue(l, ls.nextJob, 0, start)
+			ls.nextJob++
+		}
+	}
+
+	for {
+		ev, ok := q.next()
+		if !ok {
+			break
+		}
+		if ev.at > end {
+			end = ev.at
+		}
+		ls := &lanes[ev.lane]
+		switch ev.kind {
+		case evSubmit:
+			done := s.mem.Submit(ev.addr, ev.bytes, ev.at*int64(s.cfg.DRAMRatio))
+			arriveAt := (done + int64(s.cfg.DRAMRatio) - 1) / int64(s.cfg.DRAMRatio)
+			bytes += int64(ev.bytes)
+			s.streamBuf.Write(ev.bytes)
+			q.schedule(event{at: arriveAt, kind: evArrival, lane: ev.lane, token: ev.token, chunk: ev.chunk})
+		case evArrival:
+			heap.Push(&ls.inbox, arrival{at: ev.at, token: ev.token, chunk: ev.chunk, seq: q.seq})
+			wake := ev.at
+			if ls.freeAt > wake {
+				wake = ls.freeAt
+			}
+			q.schedule(event{at: wake, kind: evProcess, lane: ev.lane})
+		case evProcess:
+			if ls.inbox.Len() == 0 {
+				continue
+			}
+			if ev.at < ls.freeAt {
+				q.schedule(event{at: ls.freeAt, kind: evProcess, lane: ev.lane})
+				continue
+			}
+			a := heap.Pop(&ls.inbox).(arrival)
+			// One compute cycle: chunk dot / score / V accumulate.
+			busy++
+			s.operand.Read(8)
+			s.streamBuf.Read(ls.jobs[a.token].fetches[a.chunk].bytes)
+			if window > 1 && len(ls.jobs[a.token].fetches) > 1 {
+				s.scoreboard.Write(9)
+			}
+			ls.freeAt = ev.at + 1
+			if ls.freeAt > end {
+				end = ls.freeAt
+			}
+			ls.inFlight--
+			// Continue the job or admit a new one.
+			if a.chunk+1 < len(ls.jobs[a.token].fetches) {
+				issue(ev.lane, a.token, a.chunk+1, ls.freeAt)
+			} else if ls.nextJob < len(ls.jobs) {
+				issue(ev.lane, ls.nextJob, 0, ls.freeAt)
+				ls.nextJob++
+			}
+			if ls.inbox.Len() > 0 {
+				q.schedule(event{at: ls.freeAt, kind: evProcess, lane: ev.lane})
+			}
+		}
+	}
+	return end, busy, bytes
+}

@@ -1,0 +1,233 @@
+package arch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tokenpicker/internal/core"
+	"tokenpicker/internal/fixed"
+)
+
+// randInstance builds a peaked attention instance like the core tests do.
+func randInstance(rng *rand.Rand, n, dim int) Instance {
+	qf := make([]float32, dim)
+	for i := range qf {
+		qf[i] = float32(rng.NormFloat64())
+	}
+	kf := make([][]float32, n)
+	maxMag := 0.0
+	for i := 0; i < n; i++ {
+		row := make([]float32, dim)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		if i%19 == 0 {
+			for j := range row {
+				row[j] += qf[j] * 2
+			}
+		}
+		kf[i] = row
+		for _, v := range row {
+			if m := math.Abs(float64(v)); m > maxMag {
+				maxMag = m
+			}
+		}
+	}
+	kScale := fixed.ScaleFor(maxMag, 12)
+	kRows := make([]fixed.Vector, n)
+	for i := range kf {
+		kRows[i] = fixed.QuantizeWithScale(kf[i], 12, kScale).Data
+	}
+	bias := make([]float32, n)
+	for i := range bias {
+		bias[i] = -0.02 * float32(n-1-i)
+	}
+	return Instance{
+		In: core.Inputs{
+			Q:      fixed.Quantize(qf, 12),
+			K:      kRows,
+			KScale: kScale,
+			Scale:  1 / math.Sqrt(float64(dim)),
+			Bias:   bias,
+		},
+		Dim: dim,
+	}
+}
+
+func runMode(t *testing.T, mode Mode, thr float64, insts []Instance) Result {
+	t.Helper()
+	sim := MustNew(DefaultConfig(mode, thr))
+	var total Result
+	for _, in := range insts {
+		total.Accumulate(sim.RunInstance(in))
+	}
+	return total
+}
+
+func makeInstances(seed int64, count, n, dim int) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Instance, count)
+	for i := range out {
+		out[i] = randInstance(rng, n, dim)
+	}
+	return out
+}
+
+func TestBaselineMemoryBound(t *testing.T) {
+	insts := makeInstances(1, 4, 512, 64)
+	res := runMode(t, ModeBaseline, 0, insts)
+	cfg := DefaultConfig(ModeBaseline, 0)
+	// All bytes fetched: n tokens x 96B x (K+V).
+	wantBytes := int64(4 * 512 * 96 * 2)
+	if res.KBytes+res.VBytes != wantBytes {
+		t.Fatalf("baseline moved %d bytes, want %d", res.KBytes+res.VBytes, wantBytes)
+	}
+	// Cycles must be at least the bandwidth floor.
+	peakPerCore := cfg.DRAM.PeakBytesPerCycle() * float64(cfg.DRAMRatio)
+	floor := float64(wantBytes) / peakPerCore
+	if float64(res.Cycles) < floor {
+		t.Fatalf("baseline cycles %d below bandwidth floor %.0f", res.Cycles, floor)
+	}
+	// And should not be grossly above it (memory-bound streaming).
+	if float64(res.Cycles) > floor*4 {
+		t.Fatalf("baseline cycles %d too far above floor %.0f (not streaming?)", res.Cycles, floor)
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	// The paper's Fig. 10 ordering: baseline slowest, prob-est faster,
+	// ToPick (OoO) fastest; in-order chunked far slower than ToPick.
+	insts := makeInstances(2, 4, 512, 64)
+	thr := 1e-3
+	base := runMode(t, ModeBaseline, 0, insts)
+	probEst := runMode(t, ModeProbEst, thr, insts)
+	topick := runMode(t, ModeToPick, thr, insts)
+	inorder := runMode(t, ModeToPickInOrder, thr, insts)
+
+	if probEst.Cycles >= base.Cycles {
+		t.Fatalf("prob-est %d cycles not faster than baseline %d", probEst.Cycles, base.Cycles)
+	}
+	if topick.Cycles >= probEst.Cycles {
+		t.Fatalf("topick %d cycles not faster than prob-est %d", topick.Cycles, probEst.Cycles)
+	}
+	if inorder.Cycles <= topick.Cycles*2 {
+		t.Fatalf("in-order %d cycles should be >> topick %d (OoO hides latency)",
+			inorder.Cycles, topick.Cycles)
+	}
+}
+
+func TestBytesAgreeWithEstimator(t *testing.T) {
+	// The timing model must move exactly the bytes the algorithmic
+	// accounting predicts.
+	insts := makeInstances(3, 3, 300, 64)
+	thr := 1e-3
+	sim := MustNew(DefaultConfig(ModeToPick, thr))
+	est := core.MustNewEstimator(core.DefaultConfig(thr))
+	cs := core.DefaultConfig(thr).Chunks
+	for _, inst := range insts {
+		res := sim.RunInstance(inst)
+		rep := est.Run(inst.In)
+		if res.KBytes != rep.KBytes(cs, inst.Dim) {
+			t.Fatalf("K bytes: sim %d, estimator %d", res.KBytes, rep.KBytes(cs, inst.Dim))
+		}
+		if res.VBytes != rep.VBytes(cs, inst.Dim) {
+			t.Fatalf("V bytes: sim %d, estimator %d", res.VBytes, rep.VBytes(cs, inst.Dim))
+		}
+		if res.Kept != len(rep.Kept) {
+			t.Fatalf("kept: sim %d, estimator %d", res.Kept, len(rep.Kept))
+		}
+	}
+}
+
+func TestDRAMBytesMatchPhaseBytes(t *testing.T) {
+	insts := makeInstances(4, 2, 200, 64)
+	sim := MustNew(DefaultConfig(ModeToPick, 1e-3))
+	for _, inst := range insts {
+		res := sim.RunInstance(inst)
+		if res.DRAM.Bytes != res.KBytes+res.VBytes {
+			t.Fatalf("dram bytes %d != phase bytes %d", res.DRAM.Bytes, res.KBytes+res.VBytes)
+		}
+	}
+}
+
+func TestEnergyBreakdownSane(t *testing.T) {
+	insts := makeInstances(5, 3, 400, 64)
+	base := runMode(t, ModeBaseline, 0, insts)
+	topick := runMode(t, ModeToPick, 1e-3, insts)
+	// DRAM should dominate the baseline (the paper's premise).
+	if base.Energy.DRAMPJ < base.Energy.ComputePJ {
+		t.Fatalf("baseline DRAM energy %g below compute %g", base.Energy.DRAMPJ, base.Energy.ComputePJ)
+	}
+	// ToPick must save total energy.
+	if topick.Energy.Total() >= base.Energy.Total() {
+		t.Fatalf("topick energy %g not below baseline %g", topick.Energy.Total(), base.Energy.Total())
+	}
+	for _, r := range []Result{base, topick} {
+		if r.Energy.DRAMPJ <= 0 || r.Energy.ComputePJ <= 0 || r.Energy.BufferPJ <= 0 {
+			t.Fatalf("all energy components must be positive: %+v", r.Energy)
+		}
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	insts := makeInstances(6, 2, 300, 64)
+	for _, mode := range []Mode{ModeBaseline, ModeProbEst, ModeToPick, ModeToPickInOrder} {
+		res := runMode(t, mode, 1e-3, insts)
+		u := res.Utilization(16)
+		if u <= 0 || u > 1 {
+			t.Fatalf("mode %v utilization %g out of (0,1]", mode, u)
+		}
+	}
+}
+
+func TestOoOImprovesUtilization(t *testing.T) {
+	insts := makeInstances(7, 2, 400, 64)
+	topick := runMode(t, ModeToPick, 1e-3, insts)
+	inorder := runMode(t, ModeToPickInOrder, 1e-3, insts)
+	if topick.Utilization(16) <= inorder.Utilization(16) {
+		t.Fatalf("OoO utilization %.3f should exceed in-order %.3f",
+			topick.Utilization(16), inorder.Utilization(16))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	insts := makeInstances(8, 2, 256, 64)
+	a := runMode(t, ModeToPick, 1e-3, insts)
+	b := runMode(t, ModeToPick, 1e-3, insts)
+	if a.Cycles != b.Cycles || a.KBytes != b.KBytes || a.Energy != b.Energy {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	sim := MustNew(DefaultConfig(ModeToPick, 1e-3))
+	res := sim.RunInstance(Instance{Dim: 64})
+	if res.Cycles != 0 || res.KBytes != 0 {
+		t.Fatalf("empty instance should be free: %+v", res)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig(ModeToPick, 1e-3)
+	bad.Lanes = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	bad = DefaultConfig(ModeToPick, 1e-3)
+	bad.DRAMRatio = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero dram ratio accepted")
+	}
+}
+
+func TestClockAdvancesAcrossInstances(t *testing.T) {
+	sim := MustNew(DefaultConfig(ModeBaseline, 0))
+	insts := makeInstances(9, 2, 128, 64)
+	sim.RunInstance(insts[0])
+	t1 := sim.Now()
+	sim.RunInstance(insts[1])
+	if sim.Now() <= t1 {
+		t.Fatal("clock did not advance")
+	}
+}

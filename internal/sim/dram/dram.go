@@ -1,0 +1,212 @@
+// Package dram models an HBM2-like main memory with per-channel bank state,
+// row-buffer hits and misses, data-bus occupancy, and access energy. It
+// stands in for the DRAMsim3 simulator the paper drives with RTL traces
+// (DESIGN.md §2): the properties that matter for Token-Picker — on-demand
+// request latency, bandwidth ceilings, and the cost of scattered versus
+// streamed access — are all first-class here.
+//
+// The model is transaction-level: Submit is called with a byte address, a
+// size, and the issue time in DRAM clocks, and returns the completion time.
+// Submissions must be issued in non-decreasing time order (the accelerator
+// simulator is itself a time-ordered event loop, so this holds naturally).
+package dram
+
+import "fmt"
+
+// Config describes the memory geometry and timing. Times are in DRAM
+// command-clock cycles (1 ns at HBM2's 1 GHz command clock).
+type Config struct {
+	Channels        int // independent channels
+	BanksPerChannel int
+	RowBytes        int // row-buffer size per bank
+	BurstBytes      int // bytes moved per data-bus occupancy slot
+	BurstCycles     int // data-bus cycles one burst occupies
+
+	TRCD int // activate -> column command
+	TRP  int // precharge
+	TCL  int // column -> first data
+	TRAS int // activate -> precharge minimum
+
+	CtrlOverhead int // fixed controller/PHY pipeline cycles per request
+
+	// EnergyPerByte and ActivateEnergy are in picojoules.
+	EnergyPerByte  float64
+	ActivateEnergy float64
+}
+
+// HBM2Config returns the paper's memory system: 8 channels x 128 bit at
+// 2 GHz data rate (32 GB/s per channel).
+func HBM2Config() Config {
+	return Config{
+		Channels:        8,
+		BanksPerChannel: 16,
+		RowBytes:        2048,
+		BurstBytes:      32, // 128-bit x BL4 at half-cycle granularity
+		BurstCycles:     1,
+		TRCD:            14,
+		TRP:             14,
+		TCL:             14,
+		TRAS:            33,
+		CtrlOverhead:    10,
+		EnergyPerByte:   31.2, // ~3.9 pJ/bit
+		ActivateEnergy:  1100,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("dram: need at least one channel")
+	case c.BanksPerChannel < 1:
+		return fmt.Errorf("dram: need at least one bank per channel")
+	case c.RowBytes < c.BurstBytes || c.BurstBytes < 1:
+		return fmt.Errorf("dram: row %dB must hold a burst %dB", c.RowBytes, c.BurstBytes)
+	case c.TRCD < 0 || c.TRP < 0 || c.TCL < 1 || c.TRAS < 0 || c.BurstCycles < 1:
+		return fmt.Errorf("dram: invalid timing")
+	}
+	return nil
+}
+
+// PeakBytesPerCycle returns the aggregate data-bus throughput in bytes per
+// DRAM cycle.
+func (c Config) PeakBytesPerCycle() float64 {
+	return float64(c.Channels) * float64(c.BurstBytes) / float64(c.BurstCycles)
+}
+
+// Stats aggregates access counters.
+type Stats struct {
+	Requests  int64
+	Bytes     int64
+	RowHits   int64
+	RowMisses int64
+	// BusyCycles accumulates per-channel data-bus occupancy (for bandwidth
+	// utilization accounting).
+	BusyCycles int64
+	EnergyPJ   float64
+}
+
+type bank struct {
+	openRow    int64 // -1 = closed
+	readyAt    int64 // earliest next column command
+	activateAt int64 // time of last activate, for tRAS
+}
+
+type channel struct {
+	banks   []bank
+	busFree int64 // earliest data-bus availability
+}
+
+// Sim is a single-memory-system instance. Not safe for concurrent use.
+type Sim struct {
+	cfg   Config
+	chans []channel
+	stats Stats
+	last  int64
+
+	// LatencyFault, when non-nil, returns extra latency cycles injected
+	// into a request (failure-injection hook for tests).
+	LatencyFault func(addr uint64) int64
+}
+
+// New creates a simulator; panics on invalid config.
+func New(cfg Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Sim{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	for i := range s.chans {
+		s.chans[i].banks = make([]bank, cfg.BanksPerChannel)
+		for b := range s.chans[i].banks {
+			s.chans[i].banks[b].openRow = -1
+		}
+	}
+	return s
+}
+
+// Config returns the simulator's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Stats returns a copy of the counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// ResetStats clears counters but keeps bank state.
+func (s *Sim) ResetStats() { s.stats = Stats{} }
+
+// decode maps an address to (channel, bank, row). Bursts interleave across
+// channels, then banks, so streaming accesses spread over the full system.
+func (s *Sim) decode(addr uint64) (ch, bk int, row int64) {
+	blk := addr / uint64(s.cfg.BurstBytes)
+	ch = int(blk % uint64(s.cfg.Channels))
+	blk /= uint64(s.cfg.Channels)
+	bk = int(blk % uint64(s.cfg.BanksPerChannel))
+	blk /= uint64(s.cfg.BanksPerChannel)
+	row = int64(blk / uint64(s.cfg.RowBytes/s.cfg.BurstBytes))
+	return ch, bk, row
+}
+
+// Submit issues a read of size bytes at addr at time now (DRAM cycles) and
+// returns the cycle at which the last byte arrives. Requests spanning
+// multiple bursts are split; each burst is routed by its own address.
+// Panics if now precedes an earlier submission.
+func (s *Sim) Submit(addr uint64, bytes int, now int64) int64 {
+	if now < s.last {
+		panic(fmt.Sprintf("dram: time went backwards: %d < %d", now, s.last))
+	}
+	s.last = now
+	if bytes <= 0 {
+		return now
+	}
+	s.stats.Requests++
+	s.stats.Bytes += int64(bytes)
+	s.stats.EnergyPJ += float64(bytes) * s.cfg.EnergyPerByte
+
+	done := now
+	for off := 0; off < bytes; off += s.cfg.BurstBytes {
+		if t := s.submitBurst(addr+uint64(off), now); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+func (s *Sim) submitBurst(addr uint64, now int64) int64 {
+	chIdx, bkIdx, row := s.decode(addr)
+	ch := &s.chans[chIdx]
+	bk := &ch.banks[bkIdx]
+
+	t := now + int64(s.cfg.CtrlOverhead)
+	if s.LatencyFault != nil {
+		t += s.LatencyFault(addr)
+	}
+	if t < bk.readyAt {
+		t = bk.readyAt
+	}
+	if bk.openRow != row {
+		s.stats.RowMisses++
+		s.stats.EnergyPJ += s.cfg.ActivateEnergy
+		if bk.openRow >= 0 {
+			// Precharge respecting tRAS since the last activate.
+			preAt := t
+			if min := bk.activateAt + int64(s.cfg.TRAS); preAt < min {
+				preAt = min
+			}
+			t = preAt + int64(s.cfg.TRP)
+		}
+		// Activate.
+		bk.activateAt = t
+		t += int64(s.cfg.TRCD)
+		bk.openRow = row
+	} else {
+		s.stats.RowHits++
+	}
+	// Column access: data appears after tCL, occupying the channel bus.
+	dataStart := t + int64(s.cfg.TCL)
+	if dataStart < ch.busFree {
+		dataStart = ch.busFree
+	}
+	ch.busFree = dataStart + int64(s.cfg.BurstCycles)
+	bk.readyAt = t + int64(s.cfg.BurstCycles)
+	s.stats.BusyCycles += int64(s.cfg.BurstCycles)
+	return ch.busFree
+}

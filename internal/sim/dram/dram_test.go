@@ -1,0 +1,179 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := HBM2Config().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := HBM2Config()
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero channels accepted")
+	}
+	bad = HBM2Config()
+	bad.RowBytes = 16
+	if bad.Validate() == nil {
+		t.Fatal("row smaller than burst accepted")
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	cfg := HBM2Config()
+	s := New(cfg)
+	done := s.Submit(0, 32, 0)
+	// Cold access: ctrl + activate(tRCD) + tCL + burst.
+	want := int64(cfg.CtrlOverhead + cfg.TRCD + cfg.TCL + cfg.BurstCycles)
+	if done != want {
+		t.Fatalf("cold read latency %d, want %d", done, want)
+	}
+	st := s.Stats()
+	if st.RowMisses != 1 || st.RowHits != 0 || st.Bytes != 32 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := HBM2Config()
+	s := New(cfg)
+	first := s.Submit(0, 32, 0)
+	// Same row (same channel/bank): next burst in the row.
+	stride := uint64(cfg.BurstBytes * cfg.Channels * cfg.BanksPerChannel)
+	hitDone := s.Submit(stride, 32, first)
+	hitLat := hitDone - first
+
+	s2 := New(cfg)
+	first2 := s2.Submit(0, 32, 0)
+	// Different row, same bank.
+	rowStride := stride * uint64(cfg.RowBytes/cfg.BurstBytes)
+	missDone := s2.Submit(rowStride, 32, first2)
+	missLat := missDone - first2
+	if hitLat >= missLat {
+		t.Fatalf("row hit latency %d not faster than miss %d", hitLat, missLat)
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	// Streaming far more data than the bus can move in the issue window
+	// must take at least bytes/peak cycles.
+	cfg := HBM2Config()
+	s := New(cfg)
+	totalBytes := 1 << 20
+	var done int64
+	for off := 0; off < totalBytes; off += 64 {
+		d := s.Submit(uint64(off), 64, 0)
+		if d > done {
+			done = d
+		}
+	}
+	minCycles := float64(totalBytes) / cfg.PeakBytesPerCycle()
+	if float64(done) < minCycles {
+		t.Fatalf("completed %d bytes in %d cycles, below physical minimum %.0f",
+			totalBytes, done, minCycles)
+	}
+	// And streaming should achieve a decent fraction of peak.
+	if float64(done) > minCycles*3 {
+		t.Fatalf("streaming efficiency too low: %d cycles vs ideal %.0f", done, minCycles)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	// Requests hitting different channels should overlap: total time for 8
+	// concurrent reads across channels is far below 8x a single read.
+	cfg := HBM2Config()
+	s := New(cfg)
+	single := s.Submit(0, 32, 0)
+	s2 := New(cfg)
+	var maxDone int64
+	for c := 0; c < cfg.Channels; c++ {
+		d := s2.Submit(uint64(c*cfg.BurstBytes), 32, 0)
+		if d > maxDone {
+			maxDone = d
+		}
+	}
+	if maxDone > single+int64(cfg.BurstCycles*2) {
+		t.Fatalf("parallel channel reads took %d, single took %d", maxDone, single)
+	}
+}
+
+func TestCompletionMonotoneInIssueTime(t *testing.T) {
+	cfg := HBM2Config()
+	s := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	now := int64(0)
+	prevDone := int64(0)
+	for i := 0; i < 500; i++ {
+		now += int64(rng.Intn(5))
+		done := s.Submit(uint64(rng.Intn(1<<20))&^31, 32, now)
+		if done < now {
+			t.Fatalf("completion %d before issue %d", done, now)
+		}
+		_ = prevDone
+		prevDone = done
+	}
+}
+
+func TestTimeMonotonicityEnforced(t *testing.T) {
+	s := New(HBM2Config())
+	s.Submit(0, 32, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time should panic")
+		}
+	}()
+	s.Submit(64, 32, 50)
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := HBM2Config()
+	s := New(cfg)
+	s.Submit(0, 64, 0)
+	st := s.Stats()
+	wantMin := 64 * cfg.EnergyPerByte
+	if st.EnergyPJ < wantMin {
+		t.Fatalf("energy %g below per-byte floor %g", st.EnergyPJ, wantMin)
+	}
+	if st.EnergyPJ < wantMin+cfg.ActivateEnergy {
+		t.Fatalf("cold access should include activation energy: %g", st.EnergyPJ)
+	}
+}
+
+func TestLatencyFaultInjection(t *testing.T) {
+	cfg := HBM2Config()
+	s := New(cfg)
+	base := s.Submit(0, 32, 0)
+	s2 := New(cfg)
+	s2.LatencyFault = func(addr uint64) int64 { return 100 }
+	slow := s2.Submit(0, 32, 0)
+	if slow != base+100 {
+		t.Fatalf("fault injection: got %d, want %d", slow, base+100)
+	}
+}
+
+func TestZeroByteRequest(t *testing.T) {
+	s := New(HBM2Config())
+	if done := s.Submit(0, 0, 7); done != 7 {
+		t.Fatalf("zero-byte request should complete immediately, got %d", done)
+	}
+	if s.Stats().Requests != 0 {
+		t.Fatal("zero-byte request should not count")
+	}
+}
+
+func TestStatsBytesReconcile(t *testing.T) {
+	s := New(HBM2Config())
+	var want int64
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		n := 32 * (1 + i%4)
+		s.Submit(uint64(i*4096), n, now)
+		want += int64(n)
+		now += 10
+	}
+	if got := s.Stats().Bytes; got != want {
+		t.Fatalf("bytes %d, want %d", got, want)
+	}
+}

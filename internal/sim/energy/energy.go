@@ -1,0 +1,171 @@
+// Package energy holds the accelerator's area/power model and the energy
+// breakdown accumulator used by the cycle simulator. Per-module area and
+// power constants reproduce the paper's Table 2 (Synopsys DC, Samsung 65 nm
+// LP, 500 MHz); per-event energies are derived from those powers at the
+// 500 MHz clock (power[mW] / f[MHz] = energy[pJ] per active cycle).
+package energy
+
+import "fmt"
+
+// ClockMHz is the accelerator's target frequency (paper Table 2).
+const ClockMHz = 500
+
+// Module identifies one hardware block from Table 2.
+type Module struct {
+	Name    string
+	AreaMM2 float64 // total area, mm^2
+	PowerMW float64 // total power at 500 MHz, mW
+	PerLane bool    // true when the table row is per-lane replicated x16
+}
+
+// Table2 reproduces the paper's area and power breakdown of ToPick at
+// 500 MHz. Per-lane rows list the single-lane values; the "PE Lane x 16"
+// aggregate is derived.
+var Table2 = []Module{
+	{Name: "Multipliers & Adder-Tree 12b", AreaMM2: 0.095, PowerMW: 17.94, PerLane: true},
+	{Name: "Prob Gen", AreaMM2: 0.032, PowerMW: 2.22, PerLane: true},
+	{Name: "PEC", AreaMM2: 0.004, PowerMW: 0.73, PerLane: true},
+	{Name: "Scoreboard", AreaMM2: 0.024, PowerMW: 4.69, PerLane: true},
+	{Name: "RPDU", AreaMM2: 0.001, PowerMW: 0.17, PerLane: true},
+	// The paper's itemized per-lane rows sum below its own "PE Lane x16"
+	// aggregate (2.496 vs 2.518 mm^2, 412.0 vs 426.8 mW); the residual is
+	// lane-level glue (token FIFO, control) not broken out in Table 2.
+	{Name: "Lane glue (FIFO, control)", AreaMM2: 0.001375, PowerMW: 0.9225, PerLane: true},
+	{Name: "Mux Network", AreaMM2: 0.076, PowerMW: 3.13, PerLane: false},
+	{Name: "Margin Generator", AreaMM2: 0.014, PowerMW: 3.78, PerLane: false},
+	{Name: "DAG", AreaMM2: 0.010, PowerMW: 2.49, PerLane: false},
+	{Name: "On-chip buffer", AreaMM2: 5.968, PowerMW: 1053.32, PerLane: false},
+	// Residual between the paper's itemized rows and its published totals
+	// (8.593 mm^2 / 1492.78 mW): top-level control and the memory-interface
+	// logic are not broken out in Table 2.
+	{Name: "Top-level control & mem interface", AreaMM2: 0.007, PowerMW: 3.30, PerLane: false},
+}
+
+// Lanes is the PE lane count the Table 2 aggregate assumes.
+const Lanes = 16
+
+// PELaneArea returns the aggregate "PE Lane x16" area.
+func PELaneArea() float64 {
+	var a float64
+	for _, m := range Table2 {
+		if m.PerLane {
+			a += m.AreaMM2
+		}
+	}
+	return a * Lanes
+}
+
+// PELanePower returns the aggregate "PE Lane x16" power in mW.
+func PELanePower() float64 {
+	var p float64
+	for _, m := range Table2 {
+		if m.PerLane {
+			p += m.PowerMW
+		}
+	}
+	return p * Lanes
+}
+
+// TotalArea returns the full design area in mm^2.
+func TotalArea() float64 {
+	a := PELaneArea()
+	for _, m := range Table2 {
+		if !m.PerLane {
+			a += m.AreaMM2
+		}
+	}
+	return a
+}
+
+// TotalPower returns the full design power in mW.
+func TotalPower() float64 {
+	p := PELanePower()
+	for _, m := range Table2 {
+		if !m.PerLane {
+			p += m.PowerMW
+		}
+	}
+	return p
+}
+
+// PerCyclePJ converts a module's power draw to picojoules per active cycle.
+func PerCyclePJ(powerMW float64) float64 { return powerMW / ClockMHz * 1000 }
+
+// Per-event energies used by the cycle simulator, derived from Table 2.
+var (
+	// LaneChunkPJ: one PE lane cycle of 64 12x4-bit MACs plus adder tree.
+	LaneChunkPJ = PerCyclePJ(17.94)
+	// ProbGenPJ: generating one attention probability (exp + FIFO).
+	ProbGenPJ = PerCyclePJ(2.22)
+	// PECPJ: one partial-exp delta computation.
+	PECPJ = PerCyclePJ(0.73)
+	// ScoreboardPJ: one scoreboard read-modify-write.
+	ScoreboardPJ = PerCyclePJ(4.69)
+	// RPDUPJ: one prune/request decision.
+	RPDUPJ = PerCyclePJ(0.17)
+	// MuxPJ: datapath steering per lane-cycle (shared module / 16 lanes).
+	MuxPJ = PerCyclePJ(3.13) / Lanes
+	// MarginGenPJ: producing the margin-pair table for one query.
+	MarginGenPJ = PerCyclePJ(3.78) * 4 // a few cycles once per instance
+	// DAGPJ: one denominator aggregation cycle.
+	DAGPJ = PerCyclePJ(2.49)
+	// BufferStaticPJPerCycle charges the on-chip buffer macros' constant
+	// draw (clock tree, leakage, refresh-equivalent) per core cycle of
+	// runtime; this is why the paper's energy savings track its speedup.
+	BufferStaticPJPerCycle = PerCyclePJ(1053.32)
+)
+
+// Breakdown accumulates energy by the paper's Fig. 10b categories.
+type Breakdown struct {
+	DRAMPJ    float64
+	BufferPJ  float64
+	ComputePJ float64
+}
+
+// Add merges another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.DRAMPJ += o.DRAMPJ
+	b.BufferPJ += o.BufferPJ
+	b.ComputePJ += o.ComputePJ
+}
+
+// Total returns total picojoules.
+func (b Breakdown) Total() float64 { return b.DRAMPJ + b.BufferPJ + b.ComputePJ }
+
+// String formats the breakdown with percentages.
+func (b Breakdown) String() string {
+	t := b.Total()
+	if t == 0 {
+		return "0 pJ"
+	}
+	return fmt.Sprintf("%.3g pJ (DRAM %.0f%%, buffer %.0f%%, compute %.0f%%)",
+		t, 100*b.DRAMPJ/t, 100*b.BufferPJ/t, 100*b.ComputePJ/t)
+}
+
+// OverheadVsBaseline reports the area and power overhead of the pruning
+// modules relative to a baseline accelerator lacking them, reproducing the
+// paper's §5.2.3 analysis. The V-pruning modules (Margin Generator, DAG,
+// PEC) and the K-pruning modules (Scoreboard, RPDU) are reported separately.
+func OverheadVsBaseline() (vAreaPct, vPowerPct, kAreaPct, kPowerPct float64) {
+	baseArea := TotalArea()
+	basePower := TotalPower()
+	var vA, vP, kA, kP float64
+	for _, m := range Table2 {
+		mult := 1.0
+		if m.PerLane {
+			mult = Lanes
+		}
+		switch m.Name {
+		case "Margin Generator", "DAG", "PEC":
+			vA += m.AreaMM2 * mult
+			vP += m.PowerMW * mult
+		case "Scoreboard", "RPDU":
+			kA += m.AreaMM2 * mult
+			kP += m.PowerMW * mult
+		}
+	}
+	baseArea -= vA + kA
+	basePower -= vP + kP
+	return 100 * vA / baseArea, 100 * vP / basePower,
+		100 * kA / baseArea, 100 * kP / basePower
+}

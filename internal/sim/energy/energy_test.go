@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable2Totals verifies the derived aggregates match the paper's
+// published totals: PE Lane x16 = 2.518 mm^2 / 426.76 mW, total = 8.593
+// mm^2 / 1492.78 mW.
+func TestTable2Totals(t *testing.T) {
+	if got := PELaneArea(); math.Abs(got-2.518) > 0.01 {
+		t.Errorf("PE lane area %g, paper says 2.518", got)
+	}
+	if got := PELanePower(); math.Abs(got-426.76) > 0.5 {
+		t.Errorf("PE lane power %g, paper says 426.76", got)
+	}
+	if got := TotalArea(); math.Abs(got-8.593) > 0.05 {
+		t.Errorf("total area %g, paper says 8.593", got)
+	}
+	if got := TotalPower(); math.Abs(got-1492.78) > 1 {
+		t.Errorf("total power %g, paper says 1492.78", got)
+	}
+}
+
+// TestOverheads reproduces §5.2.3: V-pruning modules ~1.0% area / ~1.3%
+// power; K-pruning modules ~4.9% area / ~5.6% power.
+func TestOverheads(t *testing.T) {
+	vA, vP, kA, kP := OverheadVsBaseline()
+	if vA < 0.5 || vA > 2 {
+		t.Errorf("V-prune area overhead %.2f%%, paper ~1.0%%", vA)
+	}
+	if vP < 0.8 || vP > 2 {
+		t.Errorf("V-prune power overhead %.2f%%, paper ~1.3%%", vP)
+	}
+	if kA < 3.5 || kA > 6.5 {
+		t.Errorf("K-prune area overhead %.2f%%, paper ~4.9%%", kA)
+	}
+	if kP < 4 || kP > 7.5 {
+		t.Errorf("K-prune power overhead %.2f%%, paper ~5.6%%", kP)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{DRAMPJ: 70, BufferPJ: 20, ComputePJ: 10})
+	if b.Total() != 100 {
+		t.Fatalf("total %g", b.Total())
+	}
+	s := b.String()
+	if s == "" || s == "0 pJ" {
+		t.Fatal("string formatting broken")
+	}
+	if (Breakdown{}).String() != "0 pJ" {
+		t.Fatal("zero breakdown should print 0 pJ")
+	}
+}
+
+func TestPerCycleEnergies(t *testing.T) {
+	// 17.94 mW at 500 MHz = 35.88 pJ per cycle.
+	if math.Abs(LaneChunkPJ-35.88) > 0.01 {
+		t.Errorf("lane chunk energy %g, want 35.88", LaneChunkPJ)
+	}
+	for _, v := range []float64{LaneChunkPJ, ProbGenPJ, PECPJ, ScoreboardPJ, RPDUPJ, MuxPJ, MarginGenPJ, DAGPJ} {
+		if v <= 0 {
+			t.Fatal("all per-event energies must be positive")
+		}
+	}
+}

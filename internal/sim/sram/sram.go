@@ -1,0 +1,76 @@
+// Package sram models on-chip buffers as counted-access energy/occupancy
+// trackers. CACTI, which the paper uses to size its 192 KB key/value buffers
+// and the scoreboard, is replaced by fixed per-byte energies representative
+// of 65 nm SRAM macros (DESIGN.md §2).
+package sram
+
+import "fmt"
+
+// Buffer is one on-chip memory with access accounting.
+type Buffer struct {
+	Name        string
+	SizeBytes   int
+	ReadPJPerB  float64 // read energy per byte
+	WritePJPerB float64
+
+	reads, writes int64
+	readBytes     int64
+	writeBytes    int64
+	energyPJ      float64
+}
+
+// New creates a buffer; panics on non-positive size.
+func New(name string, sizeBytes int, readPJPerB, writePJPerB float64) *Buffer {
+	if sizeBytes <= 0 {
+		panic(fmt.Sprintf("sram: buffer %q size %d", name, sizeBytes))
+	}
+	return &Buffer{Name: name, SizeBytes: sizeBytes, ReadPJPerB: readPJPerB, WritePJPerB: writePJPerB}
+}
+
+// Read accounts an n-byte read.
+func (b *Buffer) Read(n int) {
+	b.reads++
+	b.readBytes += int64(n)
+	b.energyPJ += float64(n) * b.ReadPJPerB
+}
+
+// Write accounts an n-byte write.
+func (b *Buffer) Write(n int) {
+	b.writes++
+	b.writeBytes += int64(n)
+	b.energyPJ += float64(n) * b.WritePJPerB
+}
+
+// Stats describes accumulated buffer activity.
+type Stats struct {
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+	EnergyPJ              float64
+}
+
+// Stats returns a copy of the counters.
+func (b *Buffer) Stats() Stats {
+	return Stats{
+		Reads: b.reads, Writes: b.writes,
+		ReadBytes: b.readBytes, WriteBytes: b.writeBytes,
+		EnergyPJ: b.energyPJ,
+	}
+}
+
+// Reset clears the counters.
+func (b *Buffer) Reset() {
+	b.reads, b.writes, b.readBytes, b.writeBytes, b.energyPJ = 0, 0, 0, 0, 0
+}
+
+// DefaultKV returns a 192 KB key or value buffer (paper Table 1) with
+// 65 nm-class access energy.
+func DefaultKV(name string) *Buffer { return New(name, 192<<10, 1.2, 1.4) }
+
+// DefaultOperand returns the 512 B operand buffer.
+func DefaultOperand() *Buffer { return New("operand", 512, 0.15, 0.2) }
+
+// DefaultScoreboard returns one lane's 32-entry x 67-bit scoreboard,
+// rounded up to bytes.
+func DefaultScoreboard(lane int) *Buffer {
+	return New(fmt.Sprintf("scoreboard%d", lane), 32*9, 0.08, 0.1)
+}

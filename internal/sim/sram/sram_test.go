@@ -1,0 +1,42 @@
+package sram
+
+import "testing"
+
+func TestAccounting(t *testing.T) {
+	b := New("test", 1024, 2.0, 3.0)
+	b.Read(10)
+	b.Write(4)
+	st := b.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.ReadBytes != 10 || st.WriteBytes != 4 {
+		t.Fatalf("counters wrong: %+v", st)
+	}
+	want := 10*2.0 + 4*3.0
+	if st.EnergyPJ != want {
+		t.Fatalf("energy %g, want %g", st.EnergyPJ, want)
+	}
+	b.Reset()
+	if b.Stats().EnergyPJ != 0 || b.Stats().Reads != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero size should panic")
+		}
+	}()
+	New("bad", 0, 1, 1)
+}
+
+func TestDefaults(t *testing.T) {
+	if DefaultKV("k").SizeBytes != 192<<10 {
+		t.Fatal("KV buffer size should be 192KB (paper Table 1)")
+	}
+	if DefaultOperand().SizeBytes != 512 {
+		t.Fatal("operand buffer should be 512B (paper Table 1)")
+	}
+	if DefaultScoreboard(3).SizeBytes < 32*67/8 {
+		t.Fatal("scoreboard must hold 32 x 67-bit entries")
+	}
+}

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"math"
+
+	"tokenpicker/internal/model"
+)
+
+// Adam implements the Adam optimizer over the parameter slices exposed by
+// Params.VisitSlices, with global-norm gradient clipping.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64
+
+	step int
+	m    map[string][]float32
+	v    map[string][]float32
+}
+
+// NewAdam returns an optimizer with conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:       lr,
+		Beta1:    0.9,
+		Beta2:    0.999,
+		Eps:      1e-8,
+		ClipNorm: 1.0,
+		m:        map[string][]float32{},
+		v:        map[string][]float32{},
+	}
+}
+
+// Step applies one update of params from grads, then zeroes grads.
+func (a *Adam) Step(params, grads *model.Params) {
+	a.step++
+	// Global-norm clip.
+	var norm float64
+	grads.VisitSlices(func(_ string, g []float32) {
+		for _, x := range g {
+			norm += float64(x) * float64(x)
+		}
+	})
+	norm = math.Sqrt(norm)
+	clip := 1.0
+	if a.ClipNorm > 0 && norm > a.ClipNorm {
+		clip = a.ClipNorm / norm
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+
+	type pair struct{ p, g []float32 }
+	slices := map[string]pair{}
+	params.VisitSlices(func(name string, p []float32) {
+		slices[name] = pair{p: p}
+	})
+	grads.VisitSlices(func(name string, g []float32) {
+		e := slices[name]
+		e.g = g
+		slices[name] = e
+	})
+	for name, pg := range slices {
+		m, ok := a.m[name]
+		if !ok {
+			m = make([]float32, len(pg.p))
+			a.m[name] = m
+			a.v[name] = make([]float32, len(pg.p))
+		}
+		v := a.v[name]
+		for i := range pg.p {
+			g := float64(pg.g[i]) * clip
+			m[i] = float32(a.Beta1*float64(m[i]) + (1-a.Beta1)*g)
+			v[i] = float32(a.Beta2*float64(v[i]) + (1-a.Beta2)*g*g)
+			mhat := float64(m[i]) / bc1
+			vhat := float64(v[i]) / bc2
+			pg.p[i] -= float32(a.LR * mhat / (math.Sqrt(vhat) + a.Eps))
+			pg.g[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the last-computed step count (diagnostic helper).
+func (a *Adam) Steps() int { return a.step }

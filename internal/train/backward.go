@@ -1,0 +1,198 @@
+package train
+
+import (
+	"math"
+
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/tensor"
+)
+
+// layerNormBwd backpropagates through one layernorm application.
+// dOut is the gradient at the layernorm output; dX receives (accumulates)
+// the gradient at the input; dGain/dBias accumulate parameter gradients.
+func layerNormBwd(dX, dOut *tensor.Mat, gain, dGain, dBias []float32, c lnCache) {
+	n := len(gain)
+	for t := 0; t < dOut.Rows; t++ {
+		dout := dOut.Row(t)
+		xh := c.xhat.Row(t)
+		inv := c.invStd[t]
+		var meanDxhat, meanDxhatXhat float64
+		for i := 0; i < n; i++ {
+			dGain[i] += dout[i] * xh[i]
+			dBias[i] += dout[i]
+			dxh := float64(dout[i] * gain[i])
+			meanDxhat += dxh
+			meanDxhatXhat += dxh * float64(xh[i])
+		}
+		meanDxhat /= float64(n)
+		meanDxhatXhat /= float64(n)
+		drow := dX.Row(t)
+		for i := 0; i < n; i++ {
+			dxh := float64(dout[i] * gain[i])
+			drow[i] += float32((dxh - meanDxhat - float64(xh[i])*meanDxhatXhat)) * inv
+		}
+	}
+}
+
+// addOuter accumulates dW += dy (outer) x for a weight stored [out x in].
+func addOuter(dW *tensor.Mat, dy, x []float32) {
+	for i, g := range dy {
+		if g == 0 {
+			continue
+		}
+		row := dW.Row(i)
+		for j, xv := range x {
+			row[j] += g * xv
+		}
+	}
+}
+
+// addVec accumulates db += dy.
+func addVec(db, dy []float32) {
+	for i, g := range dy {
+		db[i] += g
+	}
+}
+
+// backwardSeq accumulates gradients for one sequence into grads. acts must
+// hold the forward pass of the same tokens. Returns nothing; gradients are
+// scaled exactly like the loss (mean over T-1 predictions).
+func backwardSeq(p *model.Params, grads *model.Params, acts *seqActs) {
+	cfg := p.Cfg
+	tokens := acts.tokens
+	tt := len(tokens)
+	hd := cfg.HeadDim
+	d := cfg.DModel()
+	f := cfg.FFNDim()
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	nPred := tt - 1
+	if nPred < 1 {
+		return
+	}
+
+	// dLoss/dLogits and head (tied embedding) backward.
+	dH := tensor.NewMat(tt, d)
+	probs := make([]float32, cfg.VocabSize)
+	for t := 0; t < nPred; t++ {
+		tensor.Softmax(probs, acts.logits.Row(t))
+		probs[tokens[t+1]] -= 1
+		tensor.Scale(1/float32(nPred), probs)
+		// logits = TokEmb . h  =>  dTokEmb += outer(dlogits, h); dh = TokEmb^T dlogits
+		addOuter(grads.TokEmb, probs, acts.h.Row(t))
+		tensor.VecMat(dH.Row(t), probs, p.TokEmb)
+	}
+
+	// Final layernorm backward.
+	dXOut := tensor.NewMat(tt, d)
+	layerNormBwd(dXOut, dH, p.LnFG, grads.LnFG, grads.LnFB, acts.lnf)
+
+	// Blocks in reverse.
+	dNext := dXOut // gradient at the output of block l
+	scratchD := make([]float32, d)
+	scratchF := make([]float32, f)
+	dS := make([]float32, tt)
+	for l := cfg.Layers - 1; l >= 0; l-- {
+		b := p.Blocks[l]
+		gb := grads.Blocks[l]
+		ba := acts.blocks[l]
+
+		// ---- FFN sublayer backward ----
+		// next = xMid + W2.gelu(W1.bIn + B1) + B2
+		dXMid := tensor.NewMat(tt, d)
+		dBIn := tensor.NewMat(tt, d)
+		for t := 0; t < tt; t++ {
+			dn := dNext.Row(t)
+			// Residual path.
+			tensor.Add(dXMid.Row(t), dXMid.Row(t), dn)
+			// W2 path.
+			addOuter(gb.W2, dn, ba.g.Row(t))
+			addVec(gb.B2, dn)
+			tensor.VecMat(scratchF, dn, b.W2) // dG
+			f1 := ba.f1.Row(t)
+			for j := range scratchF {
+				scratchF[j] *= tensor.GELUGrad(f1[j]) // dF1
+			}
+			addOuter(gb.W1, scratchF, ba.bIn.Row(t))
+			addVec(gb.B1, scratchF)
+			tensor.VecMat(scratchD, scratchF, b.W1) // d(bIn)
+			tensor.Add(dBIn.Row(t), dBIn.Row(t), scratchD)
+		}
+		layerNormBwd(dXMid, dBIn, b.Ln2G, gb.Ln2G, gb.Ln2B, ba.ln2)
+
+		// ---- Attention sublayer backward ----
+		// xMid = x + Wo.cat + Bo
+		dX := tensor.NewMat(tt, d)
+		dCat := tensor.NewMat(tt, d)
+		for t := 0; t < tt; t++ {
+			dm := dXMid.Row(t)
+			tensor.Add(dX.Row(t), dX.Row(t), dm) // residual
+			addOuter(gb.Wo, dm, ba.cat.Row(t))
+			addVec(gb.Bo, dm)
+			tensor.VecMat(dCat.Row(t), dm, b.Wo)
+		}
+		// Per-head attention backward.
+		dQ := tensor.NewMat(tt, d)
+		dK := tensor.NewMat(tt, d)
+		dV := tensor.NewMat(tt, d)
+		for h := 0; h < cfg.Heads; h++ {
+			lo, hi := h*hd, (h+1)*hd
+			pm := ba.p[h]
+			for t := 0; t < tt; t++ {
+				do := dCat.Row(t)[lo:hi]
+				prow := pm.Row(t)
+				// dP_i = do . v_i ; dV_i += p_i * do
+				var sumPD float64
+				for i := 0; i <= t; i++ {
+					dp := tensor.Dot(do, ba.v.Row(i)[lo:hi])
+					dS[i] = dp
+					sumPD += float64(prow[i] * dp)
+					tensor.Axpy(prow[i], do, dV.Row(i)[lo:hi])
+				}
+				// dS_i = p_i (dp_i - sum_j p_j dp_j)
+				for i := 0; i <= t; i++ {
+					dS[i] = prow[i] * (dS[i] - float32(sumPD))
+				}
+				// scores = scale * q.k - slope*(t-i): bias has no params.
+				qrow := ba.q.Row(t)[lo:hi]
+				dqrow := dQ.Row(t)[lo:hi]
+				for i := 0; i <= t; i++ {
+					g := dS[i] * scale
+					if g == 0 {
+						continue
+					}
+					tensor.Axpy(g, ba.k.Row(i)[lo:hi], dqrow)
+					tensor.Axpy(g, qrow, dK.Row(i)[lo:hi])
+				}
+			}
+		}
+		// Projection backward into dA.
+		dA := tensor.NewMat(tt, d)
+		for t := 0; t < tt; t++ {
+			a := ba.a.Row(t)
+			addOuter(gb.Wq, dQ.Row(t), a)
+			addVec(gb.Bq, dQ.Row(t))
+			tensor.VecMat(scratchD, dQ.Row(t), b.Wq)
+			tensor.Add(dA.Row(t), dA.Row(t), scratchD)
+
+			addOuter(gb.Wk, dK.Row(t), a)
+			addVec(gb.Bk, dK.Row(t))
+			tensor.VecMat(scratchD, dK.Row(t), b.Wk)
+			tensor.Add(dA.Row(t), dA.Row(t), scratchD)
+
+			addOuter(gb.Wv, dV.Row(t), a)
+			addVec(gb.Bv, dV.Row(t))
+			tensor.VecMat(scratchD, dV.Row(t), b.Wv)
+			tensor.Add(dA.Row(t), dA.Row(t), scratchD)
+		}
+		layerNormBwd(dX, dA, b.Ln1G, gb.Ln1G, gb.Ln1B, ba.ln1)
+
+		if l == 0 {
+			// Embedding backward.
+			for t := 0; t < tt; t++ {
+				addVec(grads.TokEmb.Row(tokens[t]), dX.Row(t))
+			}
+		} else {
+			dNext = dX
+		}
+	}
+}

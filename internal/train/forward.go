@@ -1,0 +1,207 @@
+// Package train implements manual-gradient training for the transformer
+// substrate: full-sequence teacher-forced forward with activation caching,
+// hand-derived backprop for every layer, Adam with gradient clipping, and a
+// deterministic in-process registry of trained stand-in models.
+//
+// The paper evaluates on pretrained HuggingFace checkpoints; this package is
+// the substitution (see DESIGN.md §2): small models trained on the synthetic
+// corpus give real attention-score distributions and a real perplexity
+// metric while staying trainable on one CPU core in seconds.
+package train
+
+import (
+	"math"
+
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/tensor"
+)
+
+// lnCache stores per-position layernorm internals needed by the backward
+// pass: the normalized activations and the inverse standard deviation.
+type lnCache struct {
+	xhat   *tensor.Mat // T x D
+	invStd []float32   // T
+}
+
+func newLnCache(tt, d int) lnCache {
+	return lnCache{xhat: tensor.NewMat(tt, d), invStd: make([]float32, tt)}
+}
+
+// blockActs caches one block's forward activations for a sequence.
+type blockActs struct {
+	x    *tensor.Mat // block input, T x D
+	ln1  lnCache
+	a    *tensor.Mat   // LN1 output, T x D
+	q    *tensor.Mat   // T x D (heads concatenated)
+	k    *tensor.Mat   // T x D
+	v    *tensor.Mat   // T x D
+	p    []*tensor.Mat // per head: T x T attention probabilities (lower-tri)
+	cat  *tensor.Mat   // attention head outputs concatenated, T x D
+	xMid *tensor.Mat   // after attention residual, T x D
+	ln2  lnCache
+	bIn  *tensor.Mat // LN2 output, T x D
+	f1   *tensor.Mat // pre-GELU, T x F
+	g    *tensor.Mat // post-GELU, T x F
+}
+
+// seqActs caches the full forward pass of one sequence.
+type seqActs struct {
+	tokens []int
+	blocks []*blockActs
+	xOut   *tensor.Mat // final block output, T x D
+	lnf    lnCache
+	h      *tensor.Mat // final LN output, T x D
+	logits *tensor.Mat // T x V
+}
+
+func newSeqActs(cfg model.Config, tt int) *seqActs {
+	d := cfg.DModel()
+	f := cfg.FFNDim()
+	sa := &seqActs{
+		xOut:   tensor.NewMat(tt, d),
+		lnf:    newLnCache(tt, d),
+		h:      tensor.NewMat(tt, d),
+		logits: tensor.NewMat(tt, cfg.VocabSize),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		ba := &blockActs{
+			x:    tensor.NewMat(tt, d),
+			ln1:  newLnCache(tt, d),
+			a:    tensor.NewMat(tt, d),
+			q:    tensor.NewMat(tt, d),
+			k:    tensor.NewMat(tt, d),
+			v:    tensor.NewMat(tt, d),
+			cat:  tensor.NewMat(tt, d),
+			xMid: tensor.NewMat(tt, d),
+			ln2:  newLnCache(tt, d),
+			bIn:  tensor.NewMat(tt, d),
+			f1:   tensor.NewMat(tt, f),
+			g:    tensor.NewMat(tt, f),
+		}
+		for h := 0; h < cfg.Heads; h++ {
+			ba.p = append(ba.p, tensor.NewMat(tt, tt))
+		}
+		sa.blocks = append(sa.blocks, ba)
+	}
+	return sa
+}
+
+// layerNormFwd applies layernorm row-wise, caching xhat and invStd.
+func layerNormFwd(out, x *tensor.Mat, gain, bias []float32, eps float32, c lnCache) {
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		orow := out.Row(t)
+		xh := c.xhat.Row(t)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var variance float64
+		for _, v := range row {
+			dd := float64(v) - mean
+			variance += dd * dd
+		}
+		variance /= float64(len(row))
+		inv := float32(1 / math.Sqrt(variance+float64(eps)))
+		c.invStd[t] = inv
+		for i, v := range row {
+			xh[i] = (v - float32(mean)) * inv
+			orow[i] = gain[i]*xh[i] + bias[i]
+		}
+	}
+}
+
+// forwardSeq runs teacher-forced forward over tokens[0..T-1] predicting
+// tokens[1..T], filling acts and returning mean cross-entropy of the T-1
+// predictions.
+func forwardSeq(p *model.Params, tokens []int, acts *seqActs) float64 {
+	cfg := p.Cfg
+	tt := len(tokens)
+	hd := cfg.HeadDim
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	acts.tokens = tokens
+
+	// Embedding.
+	x := acts.blocks[0].x
+	for t, tok := range tokens {
+		copy(x.Row(t), p.TokEmb.Row(tok))
+	}
+
+	for l, b := range p.Blocks {
+		ba := acts.blocks[l]
+		in := ba.x
+		layerNormFwd(ba.a, in, b.Ln1G, b.Ln1B, cfg.Eps, ba.ln1)
+		for t := 0; t < tt; t++ {
+			a := ba.a.Row(t)
+			tensor.MatVec(ba.q.Row(t), b.Wq, a)
+			tensor.Add(ba.q.Row(t), ba.q.Row(t), b.Bq)
+			tensor.MatVec(ba.k.Row(t), b.Wk, a)
+			tensor.Add(ba.k.Row(t), ba.k.Row(t), b.Bk)
+			tensor.MatVec(ba.v.Row(t), b.Wv, a)
+			tensor.Add(ba.v.Row(t), ba.v.Row(t), b.Bv)
+		}
+		// Causal multi-head attention.
+		scores := make([]float32, tt)
+		for h := 0; h < cfg.Heads; h++ {
+			slope := cfg.AlibiSlope(h)
+			pm := ba.p[h]
+			lo, hi := h*hd, (h+1)*hd
+			for t := 0; t < tt; t++ {
+				qrow := ba.q.Row(t)[lo:hi]
+				for i := 0; i <= t; i++ {
+					scores[i] = scale*tensor.Dot(qrow, ba.k.Row(i)[lo:hi]) - slope*float32(t-i)
+				}
+				tensor.Softmax(pm.Row(t)[:t+1], scores[:t+1])
+				orow := ba.cat.Row(t)[lo:hi]
+				for j := range orow {
+					orow[j] = 0
+				}
+				prow := pm.Row(t)
+				for i := 0; i <= t; i++ {
+					tensor.Axpy(prow[i], ba.v.Row(i)[lo:hi], orow)
+				}
+			}
+		}
+		// Output projection + residual.
+		for t := 0; t < tt; t++ {
+			tmp := ba.xMid.Row(t)
+			tensor.MatVec(tmp, b.Wo, ba.cat.Row(t))
+			tensor.Add(tmp, tmp, b.Bo)
+			tensor.Add(tmp, tmp, in.Row(t))
+		}
+		// FFN.
+		layerNormFwd(ba.bIn, ba.xMid, b.Ln2G, b.Ln2B, cfg.Eps, ba.ln2)
+		var next *tensor.Mat
+		if l+1 < cfg.Layers {
+			next = acts.blocks[l+1].x
+		} else {
+			next = acts.xOut
+		}
+		for t := 0; t < tt; t++ {
+			f1 := ba.f1.Row(t)
+			tensor.MatVec(f1, b.W1, ba.bIn.Row(t))
+			tensor.Add(f1, f1, b.B1)
+			g := ba.g.Row(t)
+			copy(g, f1)
+			tensor.GELU(g)
+			nrow := next.Row(t)
+			tensor.MatVec(nrow, b.W2, g)
+			tensor.Add(nrow, nrow, b.B2)
+			tensor.Add(nrow, nrow, ba.xMid.Row(t))
+		}
+	}
+
+	// Final norm, tied output head, loss.
+	layerNormFwd(acts.h, acts.xOut, p.LnFG, p.LnFB, cfg.Eps, acts.lnf)
+	var loss float64
+	for t := 0; t+1 < tt; t++ {
+		tensor.MatVec(acts.logits.Row(t), p.TokEmb, acts.h.Row(t))
+		lse := tensor.LogSumExp(acts.logits.Row(t))
+		loss += lse - float64(acts.logits.At(t, tokens[t+1]))
+	}
+	if tt > 1 {
+		loss /= float64(tt - 1)
+	}
+	return loss
+}

@@ -1,0 +1,166 @@
+package train
+
+import (
+	"math"
+	"sync"
+
+	"tokenpicker/internal/corpus"
+	"tokenpicker/internal/model"
+)
+
+// Options controls a training run.
+type Options struct {
+	Steps      int     // optimizer steps
+	Batch      int     // sequences per step
+	SeqLen     int     // tokens per sequence
+	LR         float64 // Adam learning rate
+	Seed       int64   // weight-init and data-order seed
+	CorpusSeed int64   // synthetic-corpus seed
+}
+
+// DefaultOptions trains a stand-in model well enough that attention heads
+// develop the sharp/flat distribution mix the pruning experiments rely on,
+// within a few seconds on one core.
+func DefaultOptions() Options {
+	return Options{Steps: 60, Batch: 2, SeqLen: 128, LR: 3e-3, Seed: 1, CorpusSeed: 1}
+}
+
+// QuickOptions is a cheaper profile for tests.
+func QuickOptions() Options {
+	return Options{Steps: 25, Batch: 2, SeqLen: 64, LR: 3e-3, Seed: 1, CorpusSeed: 1}
+}
+
+// Result bundles a trained model with its data splits so evaluation uses
+// held-out text.
+type Result struct {
+	Params    *model.Params
+	Train     []int
+	Held      []int
+	FinalLoss float64
+}
+
+// Train trains a model of the given config from scratch. Deterministic for
+// fixed options.
+func Train(cfg model.Config, opts Options) *Result {
+	gen := corpus.NewGenerator(corpusConfigFor(cfg, opts.CorpusSeed))
+	need := opts.Steps*opts.Batch*opts.SeqLen + 4096
+	stream := gen.Tokens(need)
+	trainToks, heldToks := corpus.Split(stream, 0.85)
+
+	params := model.NewParams(cfg, opts.Seed)
+	grads := params.CloneZero()
+	opt := NewAdam(opts.LR)
+	acts := newSeqActs(cfg, opts.SeqLen)
+
+	pos := 0
+	var last float64
+	for step := 0; step < opts.Steps; step++ {
+		var lossSum float64
+		for bi := 0; bi < opts.Batch; bi++ {
+			if pos+opts.SeqLen+1 > len(trainToks) {
+				pos = 0
+			}
+			seq := trainToks[pos : pos+opts.SeqLen]
+			pos += opts.SeqLen
+			lossSum += forwardSeq(params, seq, acts)
+			backwardSeq(params, grads, acts)
+		}
+		// Average gradients over the batch.
+		grads.VisitSlices(func(_ string, g []float32) {
+			inv := 1 / float32(opts.Batch)
+			for i := range g {
+				g[i] *= inv
+			}
+		})
+		opt.Step(params, grads)
+		last = lossSum / float64(opts.Batch)
+	}
+	return &Result{Params: params, Train: trainToks, Held: heldToks, FinalLoss: last}
+}
+
+// corpusConfigFor varies the corpus seed per model so the stand-in family
+// does not train on byte-identical streams.
+func corpusConfigFor(cfg model.Config, seed int64) corpus.Config {
+	c := corpus.DefaultConfig(seed)
+	c.VocabSize = cfg.VocabSize
+	if c.Branching >= c.VocabSize {
+		c.Branching = c.VocabSize / 2
+	}
+	return c
+}
+
+// Perplexity evaluates teacher-forced perplexity of params on tokens using
+// the given attention kernel for the generation phase (nil = exact). The
+// first warm tokens are consumed as prompt (exact attention) and excluded
+// from the measurement, mirroring the paper's setup where pruning applies
+// to the generation phase only.
+func Perplexity(params *model.Params, tokens []int, kernel model.Kernel, warm int) float64 {
+	if warm < 1 {
+		warm = 1
+	}
+	if warm >= len(tokens)-1 {
+		panic("train: not enough tokens for perplexity eval")
+	}
+	dec := model.NewDecoder(params, kernel)
+	dec.Prompt(tokens[:warm])
+	var nll float64
+	n := 0
+	for t := warm; t+1 < len(tokens); t++ {
+		logits := dec.Step(tokens[t])
+		nll += nllOf(logits, tokens[t+1])
+		n++
+	}
+	return math.Exp(nll / float64(n))
+}
+
+func nllOf(logits []float32, target int) float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v - maxv))
+	}
+	return float64(maxv) + math.Log(sum) - float64(logits[target])
+}
+
+// ---- Deterministic in-process registry ----
+
+var (
+	regMu  sync.Mutex
+	regMap = map[string]*Result{}
+)
+
+// Get returns the trained model for cfg under opts, training it on first use
+// and caching the result for the life of the process. Keyed by config name
+// and option fingerprint.
+func Get(cfg model.Config, opts Options) *Result {
+	key := cfg.Name + "/" + fingerprint(opts)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if r, ok := regMap[key]; ok {
+		return r
+	}
+	r := Train(cfg, opts)
+	regMap[key] = r
+	return r
+}
+
+func fingerprint(o Options) string {
+	b := make([]byte, 0, 48)
+	for _, v := range []int64{int64(o.Steps), int64(o.Batch), int64(o.SeqLen),
+		int64(o.LR * 1e6), o.Seed, o.CorpusSeed} {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// TestModel returns a cached micro model for unit tests.
+func TestModel() *Result {
+	return Get(model.TestConfig(), QuickOptions())
+}

@@ -1,0 +1,164 @@
+// Package tokenpicker is a from-scratch Go reproduction of "Token-Picker:
+// Accelerating Attention in Text Generation with Minimized Memory Transfer
+// via Probability Estimation" (Park et al., DAC 2024).
+//
+// The package re-exports the library's public surface:
+//
+//   - probability-estimation token pruning (the paper's algorithm), usable
+//     as a standalone Estimator over quantized attention instances or as an
+//     attention Kernel plugged into the bundled transformer;
+//   - the transformer substrate (model, training, synthetic corpus) that
+//     stands in for the paper's pretrained-model evaluation;
+//   - the ToPick cycle-level accelerator simulator with its HBM2 memory
+//     model, plus the baseline and SpAtten-style comparison points;
+//   - the experiment harness that regenerates every figure and table of the
+//     paper's evaluation section.
+//
+// Quick start:
+//
+//	res := tokenpicker.TrainDemoModel()
+//	kernel := tokenpicker.NewKernel(1e-3) // prune tokens with p'' <= 0.1%
+//	dec := tokenpicker.NewDecoder(res.Params, kernel)
+//	dec.Prompt(res.Held[:64])
+//	logits := dec.Step(res.Held[64])
+//	_ = logits
+//	stats := kernel.Stats()
+//	fmt.Printf("V pruning ratio: %.1fx\n", stats.PruningRatio())
+package tokenpicker
+
+import (
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/bench"
+	"tokenpicker/internal/core"
+	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/sim/arch"
+	"tokenpicker/internal/spatten"
+	"tokenpicker/internal/train"
+)
+
+// Core algorithm types.
+type (
+	// Estimator runs Token-Picker probability estimation over one
+	// attention instance (core of the paper, §3.1-3.2).
+	Estimator = core.Estimator
+	// EstimatorConfig parameterizes chunking, threshold, ordering, and
+	// scheduling of an Estimator.
+	EstimatorConfig = core.Config
+	// EstimatorInputs is a quantized attention instance.
+	EstimatorInputs = core.Inputs
+	// PruneReport is the outcome of one estimation run.
+	PruneReport = core.Report
+	// ChunkSpec describes the bit-chunk layout of keys in memory.
+	ChunkSpec = fixed.ChunkSpec
+)
+
+// Model and training types.
+type (
+	// ModelConfig describes a transformer variant.
+	ModelConfig = model.Config
+	// Params holds transformer weights.
+	Params = model.Params
+	// Decoder runs KV-cached generation with a pluggable attention kernel.
+	Decoder = model.Decoder
+	// Kernel is the attention plug-in interface.
+	Kernel = model.Kernel
+	// TrainResult couples trained weights with their corpus splits.
+	TrainResult = train.Result
+	// TrainOptions sizes a training run.
+	TrainOptions = train.Options
+)
+
+// Attention kernels and statistics.
+type (
+	// TokenPickerKernel applies the paper's pruning inside the decoder.
+	TokenPickerKernel = attention.TokenPicker
+	// TransferStats aggregates off-chip traffic accounting.
+	TransferStats = attention.Stats
+	// SpAttenConfig parameterizes the cascade-pruning baseline.
+	SpAttenConfig = spatten.Config
+)
+
+// Hardware simulation types.
+type (
+	// AccelConfig parameterizes the cycle-level accelerator model.
+	AccelConfig = arch.Config
+	// AccelSim is the event-driven ToPick/baseline simulator.
+	AccelSim = arch.Sim
+	// AccelResult is a simulation outcome.
+	AccelResult = arch.Result
+	// AccelInstance is one attention workload for the simulator.
+	AccelInstance = arch.Instance
+)
+
+// Accelerator modes (paper Fig. 10 configurations plus the in-order
+// ablation).
+const (
+	ModeBaseline      = arch.ModeBaseline
+	ModeProbEst       = arch.ModeProbEst
+	ModeToPick        = arch.ModeToPick
+	ModeToPickInOrder = arch.ModeToPickInOrder
+)
+
+// NewEstimator builds the paper-default estimator at the given probability
+// threshold (12-bit operands, three 4-bit chunks, locality ordering).
+func NewEstimator(threshold float64) *Estimator {
+	return core.MustNewEstimator(core.DefaultConfig(threshold))
+}
+
+// NewEstimatorFrom builds an estimator from a custom configuration.
+func NewEstimatorFrom(cfg EstimatorConfig) (*Estimator, error) {
+	return core.NewEstimator(cfg)
+}
+
+// NewKernel returns the Token-Picker attention kernel at the given
+// threshold, ready to plug into a Decoder.
+func NewKernel(threshold float64) *TokenPickerKernel {
+	return attention.NewTokenPicker(threshold)
+}
+
+// NewExactKernel returns 12-bit full-softmax attention (the non-pruning
+// baseline's arithmetic).
+func NewExactKernel() Kernel { return attention.NewQuantizedExact() }
+
+// NewSpAttenKernel returns the cascade-pruning comparison kernel.
+func NewSpAttenKernel(cfg SpAttenConfig) Kernel { return spatten.New(cfg) }
+
+// NewDecoder wraps model.NewDecoder.
+func NewDecoder(p *Params, k Kernel) *Decoder { return model.NewDecoder(p, k) }
+
+// NewAccelSim builds the cycle-level simulator in the given mode and
+// pruning threshold with the paper's hardware configuration (Table 1).
+func NewAccelSim(mode arch.Mode, threshold float64) *AccelSim {
+	return arch.MustNew(arch.DefaultConfig(mode, threshold))
+}
+
+// TrainDemoModel trains (once per process) a small language model on the
+// synthetic corpus, suitable for examples and quick experiments.
+func TrainDemoModel() *TrainResult { return train.TestModel() }
+
+// TrainModel trains a model of the given configuration.
+func TrainModel(cfg ModelConfig, opts TrainOptions) *TrainResult {
+	return train.Get(cfg, opts)
+}
+
+// DemoModelConfig returns the micro transformer configuration used by
+// TrainDemoModel.
+func DemoModelConfig() ModelConfig { return model.TestConfig() }
+
+// DefaultTrainOptions returns the stand-in family training profile.
+func DefaultTrainOptions() TrainOptions { return train.DefaultOptions() }
+
+// Perplexity evaluates teacher-forced perplexity with the given kernel
+// (nil = exact attention); warm tokens are consumed as prompt.
+func Perplexity(p *Params, tokens []int, k Kernel, warm int) float64 {
+	return train.Perplexity(p, tokens, k, warm)
+}
+
+// Experiments exposes the paper-reproduction harness. See the bench
+// package for per-figure data types.
+type Experiments = bench.Options
+
+// ExperimentOptions returns the full-scale experiment configuration
+// (honours TOPICK_QUICK for the reduced profile).
+func ExperimentOptions() Experiments { return bench.FromEnv() }
