@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all vet build test test-full bench serve-demo clean
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Quick profile: the same suite CI runs.
+test:
+	TOPICK_QUICK=1 $(GO) test -race ./...
+
+# Full experiment scale (slow).
+test-full:
+	$(GO) test -race ./...
+
+bench:
+	TOPICK_QUICK=1 $(GO) test -run xxx -bench . -benchtime 1x ./...
+
+serve-demo:
+	$(GO) run ./cmd/topick-serve -compare
+
+clean:
+	$(GO) clean ./...

@@ -198,16 +198,16 @@ func BenchmarkDRAMStream(b *testing.B) {
 func BenchmarkDecodeStep(b *testing.B) {
 	r := train.TestModel()
 	dec := model.NewDecoder(r.Params, attention.NewTokenPicker(1e-3))
-	dec.Prompt(r.Held[:128])
+	dec.MustPrompt(r.Held[:128])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if dec.Len() >= r.Params.Cfg.MaxSeq-1 {
 			b.StopTimer()
 			dec = model.NewDecoder(r.Params, attention.NewTokenPicker(1e-3))
-			dec.Prompt(r.Held[:128])
+			dec.MustPrompt(r.Held[:128])
 			b.StartTimer()
 		}
-		dec.Step(r.Held[128+i%512])
+		dec.MustStep(r.Held[128+i%512])
 	}
 }
 

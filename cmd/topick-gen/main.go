@@ -44,7 +44,10 @@ func main() {
 
 	dec := tokenpicker.NewDecoder(res.Params, k)
 	prompt := res.Held[:*promptLen]
-	logits := dec.Prompt(prompt)
+	logits, err := dec.Prompt(prompt)
+	if err != nil {
+		log.Fatalf("prompt: %v", err)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	fmt.Printf("prompt tokens: %v\n", prompt[len(prompt)-16:])
@@ -52,7 +55,12 @@ func main() {
 	tok := sample(rng, logits, float32(*temp))
 	for i := 0; i < *nTokens; i++ {
 		fmt.Printf("%d ", tok)
-		logits = dec.Step(tok)
+		logits, err = dec.Step(tok)
+		if err != nil {
+			// ErrContextFull: the window is exhausted; stop cleanly.
+			fmt.Printf("\n(stopped early: %v)", err)
+			break
+		}
 		tok = sample(rng, logits, float32(*temp))
 	}
 	fmt.Println()

@@ -22,7 +22,7 @@ func main() {
 
 	// A long conversation history (held-out corpus stands in for user turns).
 	history := res.Held[:640]
-	logits := dec.Prompt(history)
+	logits := dec.MustPrompt(history)
 	fmt.Printf("conversation history: %d tokens in the KV cache\n\n", len(history))
 	fmt.Println("step  token  context  kept-this-step  cum-V-ratio  cum-K-red")
 
@@ -31,7 +31,7 @@ func main() {
 	prevKept := int64(0)
 	prevTokens := int64(0)
 	for step := 1; step <= 48; step++ {
-		logits = dec.Step(tok)
+		logits = dec.MustStep(tok)
 		st := kernel.Stats()
 		keptStep := st.Kept - prevKept
 		tokensStep := st.Tokens - prevTokens

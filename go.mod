@@ -1,0 +1,3 @@
+module tokenpicker
+
+go 1.24

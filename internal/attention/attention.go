@@ -99,7 +99,7 @@ func (qs *quantScratch) ensure(n, dim int) {
 
 // quantizeCache quantizes rows [0,n) of m (dim columns) into rows/back with
 // a shared symmetric scale, returning the scale.
-func quantizeCache(rows []fixed.Vector, back []int16, m *tensor.Mat, n, dim int, bits uint) float64 {
+func quantizeCache(rows []fixed.Vector, back []int16, m tensor.RowSource, n, dim int, bits uint) float64 {
 	var maxMag float32
 	for i := 0; i < n; i++ {
 		if v := tensor.MaxAbs(m.Row(i)[:dim]); v > maxMag {
@@ -153,7 +153,7 @@ func (k *TokenPicker) Stats() Stats { return k.stats }
 func (k *TokenPicker) ResetStats() { k.stats = Stats{} }
 
 // Attend implements model.Kernel.
-func (k *TokenPicker) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (k *TokenPicker) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
 	k.qs.ensure(n, dim)
 	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
@@ -225,7 +225,7 @@ func (k *QuantizedExact) Stats() Stats { return k.stats }
 func (k *QuantizedExact) ResetStats() { k.stats = Stats{} }
 
 // Attend implements model.Kernel.
-func (k *QuantizedExact) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (k *QuantizedExact) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
 	k.qs.ensure(n, dim)
 	if cap(k.scores) < n {
@@ -285,7 +285,7 @@ func (k *Oracle) Stats() Stats { return k.stats }
 func (k *Oracle) ResetStats() { k.stats = Stats{} }
 
 // Attend implements model.Kernel.
-func (k *Oracle) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (k *Oracle) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
 	k.qs.ensure(n, dim)
 	if cap(k.scores) < n {

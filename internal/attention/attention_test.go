@@ -23,7 +23,7 @@ func buildCache(rng *rand.Rand, n, dim int) (q []float32, keys, vals *tensor.Mat
 	return q, keys, vals
 }
 
-func attendAll(k model.Kernel, q []float32, keys, vals *tensor.Mat, n int) []float32 {
+func attendAll(k model.Kernel, q []float32, keys, vals tensor.RowSource, n int) []float32 {
 	out := make([]float32, len(q))
 	k.Attend(out, q, keys, vals, n, float32(1/math.Sqrt(float64(len(q)))), 0.01, 0, 0)
 	return out
@@ -150,9 +150,9 @@ func TestKernelsInDecoder(t *testing.T) {
 	}
 	for ki, k := range kernels {
 		dec := model.NewDecoder(params, k)
-		dec.Prompt([]int{1, 2, 3, 4, 5})
+		dec.MustPrompt([]int{1, 2, 3, 4, 5})
 		for step := 0; step < 20; step++ {
-			logits := dec.Step(step % cfg.VocabSize)
+			logits := dec.MustStep(step % cfg.VocabSize)
 			for _, v := range logits {
 				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
 					t.Fatalf("kernel %d produced non-finite logits", ki)

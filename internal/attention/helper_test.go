@@ -15,11 +15,11 @@ func trainedModel() *train.Result { return train.TestModel() }
 func perplexity(r *train.Result, tokens []int, kernel model.Kernel) float64 {
 	const warm = 16
 	dec := model.NewDecoder(r.Params, kernel)
-	dec.Prompt(tokens[:warm])
+	dec.MustPrompt(tokens[:warm])
 	var nll float64
 	n := 0
 	for t := warm; t+1 < len(tokens); t++ {
-		logits := dec.Step(tokens[t])
+		logits := dec.MustStep(tokens[t])
 		maxv := logits[0]
 		for _, v := range logits[1:] {
 			if v > maxv {

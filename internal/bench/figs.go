@@ -99,10 +99,10 @@ func Fig3(opts Options) (*Table, Fig3Data) {
 	var insts []inst
 	rec := &recordKernel{layer: layer, head: head}
 	dec2 := model.NewDecoder(r.Params, rec)
-	dec2.Prompt(r.Held[:ctx])
+	dec2.MustPrompt(r.Held[:ctx])
 	for s := 0; s < steps; s++ {
 		rec.captured = nil
-		dec2.Step(r.Held[ctx+s])
+		dec2.MustStep(r.Held[ctx+s])
 		if rec.captured == nil {
 			continue
 		}
@@ -154,7 +154,7 @@ type recordKernel struct {
 	captured []float32
 }
 
-func (rk *recordKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (rk *recordKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	rk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
 	if layer == rk.layer && head == rk.head {
 		rk.captured = model.Scores(q, keys, n, scale, slope)
@@ -229,9 +229,9 @@ func Fig4(opts Options) (*Table, Fig4Data) {
 	midToks := make([]int64, heads)
 	agg := &heatmapKernel{sums: sums, counts: counts, midToks: midToks, recent: recent, heads: cfg.Heads}
 	dec := model.NewDecoder(r.Params, agg)
-	dec.Prompt(r.Held[:ctx])
+	dec.MustPrompt(r.Held[:ctx])
 	for s := 0; s < steps; s++ {
-		dec.Step(r.Held[ctx+s])
+		dec.MustStep(r.Held[ctx+s])
 	}
 
 	data := Fig4Data{Probs: make([][]float64, heads)}
@@ -277,7 +277,7 @@ type heatmapKernel struct {
 	probs   []float32
 }
 
-func (hk *heatmapKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (hk *heatmapKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	hk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
 	if n < hk.recent+2 {
 		return

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/serve"
+	"tokenpicker/internal/tensor"
+	"tokenpicker/internal/train"
+)
+
+// ServingOptions sizes the serialized-vs-continuous-batching comparison.
+type ServingOptions struct {
+	Sessions  int // concurrent generation requests
+	PromptLen int // shortest prompt; session i adds i*Stride tokens
+	Stride    int
+	MaxNew    int     // tokens generated per session
+	Workers   int     // server decode workers
+	BlockRows int     // KV pool granularity
+	Threshold float64 // Token-Picker pruning threshold
+}
+
+// DefaultServingOptions returns the profile used by cmd/topick-serve and the
+// throughput benchmark.
+func DefaultServingOptions() ServingOptions {
+	return ServingOptions{
+		Sessions:  12,
+		PromptLen: 24,
+		Stride:    6,
+		MaxNew:    48,
+		Workers:   4,
+		BlockRows: 32,
+		Threshold: 1e-3,
+	}
+}
+
+// ServingResult is the outcome of one serving comparison.
+//
+// Throughput (tokens/s) scales with workers only up to the machine's core
+// count — on a single core the two modes move the same FLOPs and the
+// batched run pays a small scheduling tax. Mean time-to-first-token is the
+// structural win: serialized decoding queues whole sessions behind each
+// other, while the continuous batcher prefills every admitted session
+// within its first scheduling rounds.
+type ServingResult struct {
+	Sessions      int
+	TotalTokens   int64 // generated tokens across sessions
+	SerialSec     float64
+	BatchedSec    float64
+	Speedup       float64 // serial wall / batched wall
+	SerialTokSec  float64
+	BatchedTokSec float64
+	SerialTTFT    float64 // mean seconds from batch start to a session's first token
+	BatchedTTFT   float64
+	Report        serve.Report // fleet report of the batched run
+	EagerRows     int64        // KV rows the seed's eager allocation would use
+}
+
+// servingPrompts builds the synthetic mixed-length traffic. Lengths are
+// clamped to the held-out stream so oversized option sets degrade into
+// repeated full-length prompts instead of slicing out of range.
+func servingPrompts(r *train.Result, o ServingOptions) [][]int {
+	prompts := make([][]int, o.Sessions)
+	for i := range prompts {
+		l := o.PromptLen + i*o.Stride
+		if l < 1 {
+			l = 1
+		}
+		if l >= len(r.Held) {
+			l = len(r.Held) - 1
+		}
+		start := (i * 17) % (len(r.Held) - l)
+		prompts[i] = r.Held[start : start+l]
+	}
+	return prompts
+}
+
+// CompareServing decodes the same mixed-length session set twice — first
+// serialized on a single decoder (one request at a time, the seed repo's
+// only mode), then through the continuous-batching server — and reports
+// wall-clock, throughput, mean time-to-first-token, and the batched run's
+// fleet statistics.
+func CompareServing(r *train.Result, o ServingOptions) ServingResult {
+	prompts := servingPrompts(r, o)
+
+	// Serialized baseline: one decoder, sessions back to back.
+	kernel := attention.NewTokenPicker(o.Threshold)
+	dec := model.NewDecoder(r.Params, kernel)
+	start := time.Now()
+	var serialToks int64
+	var serialTTFT float64
+	for _, p := range prompts {
+		dec.Reset()
+		// Stop a session on ErrContextFull like the server does, so both
+		// arms degrade the same way when MaxNew overruns the window.
+		logits, err := dec.Prompt(p)
+		if err != nil {
+			continue
+		}
+		tok := tensor.Argmax(logits)
+		serialTTFT += time.Since(start).Seconds()
+		serialToks++ // the first sampled token
+		for g := 1; g < o.MaxNew; g++ {
+			logits, err = dec.Step(tok)
+			if err != nil {
+				break
+			}
+			tok = tensor.Argmax(logits)
+			serialToks++
+		}
+	}
+	serialSec := time.Since(start).Seconds()
+
+	// Continuous batching: all sessions in flight at once.
+	srv := serve.NewServer(r.Params, serve.Config{
+		Workers:   o.Workers,
+		BlockRows: o.BlockRows,
+		NewKernel: func() model.Kernel { return attention.NewTokenPicker(o.Threshold) },
+	})
+	start = time.Now()
+	streams := make([]*serve.Stream, len(prompts))
+	for i, p := range prompts {
+		st, err := srv.Submit(context.Background(), serve.Request{Prompt: p, MaxNewTokens: o.MaxNew})
+		if err != nil {
+			panic(fmt.Sprintf("bench: submit: %v", err))
+		}
+		streams[i] = st
+	}
+	var batchedToks int64
+	var batchedTTFT float64
+	for _, st := range streams {
+		res := st.Result()
+		batchedToks += int64(res.Generated)
+		batchedTTFT += res.TTFT.Seconds()
+	}
+	batchedSec := time.Since(start).Seconds()
+	srv.Close()
+	rep := srv.Report()
+
+	cfg := r.Params.Cfg
+	n := float64(len(prompts))
+	return ServingResult{
+		Sessions:      o.Sessions,
+		TotalTokens:   batchedToks,
+		SerialSec:     serialSec,
+		BatchedSec:    batchedSec,
+		Speedup:       serialSec / batchedSec,
+		SerialTokSec:  float64(serialToks) / serialSec,
+		BatchedTokSec: float64(batchedToks) / batchedSec,
+		SerialTTFT:    serialTTFT / n,
+		BatchedTTFT:   batchedTTFT / n,
+		Report:        rep,
+		EagerRows:     int64(o.Sessions) * int64(cfg.MaxSeq) * int64(cfg.Layers*cfg.Heads*2),
+	}
+}
+
+// ServingTable renders the comparison in the experiment-harness style.
+func ServingTable(res ServingResult) *Table {
+	t := &Table{
+		Title:  "Serving: serialized vs continuous batching",
+		Header: []string{"mode", "wall (s)", "tokens/s", "mean TTFT (s)"},
+	}
+	t.AddRow("serialized", fmt.Sprintf("%.3f", res.SerialSec),
+		fmt.Sprintf("%.1f", res.SerialTokSec), fmt.Sprintf("%.4f", res.SerialTTFT))
+	t.AddRow("continuous", fmt.Sprintf("%.3f", res.BatchedSec),
+		fmt.Sprintf("%.1f", res.BatchedTokSec), fmt.Sprintf("%.4f", res.BatchedTTFT))
+	t.AddNote("wall speedup %.2fx, TTFT %.1fx lower, over %d sessions (%d generated tokens)",
+		res.Speedup, res.SerialTTFT/res.BatchedTTFT, res.Sessions, res.TotalTokens)
+	t.AddNote("fleet pruning ratio %.2fx, total KV-transfer reduction %.2fx",
+		res.Report.Attn.PruningRatio(), res.Report.Attn.TotalReduction())
+	t.AddNote("KV pool: %s", res.Report.Pool)
+	t.AddNote("eager allocation would back %d rows; pool backed %d (%.1fx less)",
+		res.EagerRows, res.Report.Pool.AllocatedRows(),
+		float64(res.EagerRows)/float64(res.Report.Pool.AllocatedRows()))
+	return t
+}

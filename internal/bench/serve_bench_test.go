@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"tokenpicker/internal/train"
+)
+
+func TestCompareServing(t *testing.T) {
+	o := DefaultServingOptions()
+	o.Sessions = 8
+	o.MaxNew = 24
+	r := train.TestModel()
+	res := CompareServing(r, o)
+	if res.Report.Completed() != int64(o.Sessions) {
+		t.Fatalf("completed %d of %d sessions", res.Report.Completed(), o.Sessions)
+	}
+	if res.TotalTokens != int64(o.Sessions*o.MaxNew) {
+		t.Fatalf("generated %d tokens, want %d", res.TotalTokens, o.Sessions*o.MaxNew)
+	}
+	if res.Report.Pool.AllocatedRows() >= res.EagerRows {
+		t.Fatalf("pool rows %d not below eager %d", res.Report.Pool.AllocatedRows(), res.EagerRows)
+	}
+	if pr := res.Report.Attn.PruningRatio(); !(pr > 1) {
+		t.Fatalf("fleet pruning ratio %g", pr)
+	}
+	// The structural win holds on any core count: interleaving bounds each
+	// session's wait for its first token, serialization queues sessions
+	// whole. Generation-heavy sessions make the gap wide and flake-proof.
+	if res.BatchedTTFT >= res.SerialTTFT {
+		t.Fatalf("mean TTFT: batched %.4fs not below serialized %.4fs",
+			res.BatchedTTFT, res.SerialTTFT)
+	}
+	_ = ServingTable(res).String()
+}
+
+// BenchmarkServing regenerates the serving comparison: serialized decoding
+// vs the continuous-batching engine over the same mixed-length traffic.
+// Custom metrics report the wall-clock speedup and both throughputs.
+func BenchmarkServing(b *testing.B) {
+	o := DefaultServingOptions()
+	r := train.TestModel()
+	for i := 0; i < b.N; i++ {
+		res := CompareServing(r, o)
+		b.ReportMetric(res.Speedup, "speedup")
+		b.ReportMetric(res.SerialTokSec, "serial-tok/s")
+		b.ReportMetric(res.BatchedTokSec, "batched-tok/s")
+		b.ReportMetric(res.Report.Attn.PruningRatio(), "pruning-ratio")
+	}
+}

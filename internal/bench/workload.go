@@ -86,11 +86,11 @@ func evalRun(r *train.Result, kernel model.Kernel, promptLen, evalTokens int) fl
 	}
 	tokens = tokens[:need]
 	dec := model.NewDecoder(r.Params, kernel)
-	dec.Prompt(tokens[:promptLen])
+	dec.MustPrompt(tokens[:promptLen])
 	var nll float64
 	n := 0
 	for t := promptLen; t+1 < len(tokens); t++ {
-		logits := dec.Step(tokens[t])
+		logits := dec.MustStep(tokens[t])
 		maxv := logits[0]
 		for _, v := range logits[1:] {
 			if v > maxv {
@@ -163,7 +163,7 @@ type traceKernel struct {
 	Instances []arch.Instance
 }
 
-func (tk *traceKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (tk *traceKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	tk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
 	tk.calls++
 	if len(tk.Instances) >= tk.max || tk.calls%tk.sample != 0 || n < 8 {

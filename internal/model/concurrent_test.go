@@ -1,0 +1,63 @@
+package model
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDecodersShareParams runs several decoders over one read-only
+// *Params from separate goroutines and checks each produces exactly the
+// logits of a serial run. Under -race this also proves the decoder/kernel
+// split leaves no shared mutable state behind the Params.
+func TestConcurrentDecodersShareParams(t *testing.T) {
+	p := NewParams(TestConfig(), 11)
+	const (
+		workers = 8
+		prompt  = 6
+		steps   = 12
+	)
+	// Give every worker a distinct token stream.
+	streams := make([][]int, workers)
+	for w := range streams {
+		toks := make([]int, prompt+steps)
+		for i := range toks {
+			toks[i] = (w*31 + i*7) % p.Cfg.VocabSize
+		}
+		streams[w] = toks
+	}
+
+	decode := func(toks []int) []float32 {
+		dec := NewDecoder(p, nil)
+		dec.MustPrompt(toks[:prompt])
+		var logits []float32
+		for _, tok := range toks[prompt:] {
+			logits = dec.MustStep(tok)
+		}
+		return append([]float32(nil), logits...)
+	}
+
+	want := make([][]float32, workers)
+	for w := range streams {
+		want[w] = decode(streams[w])
+	}
+
+	got := make([][]float32, workers)
+	var wg sync.WaitGroup
+	for w := range streams {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = decode(streams[w])
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range want {
+		for i := range want[w] {
+			if want[w][i] != got[w][i] {
+				t.Fatalf("worker %d logit %d: concurrent %g != serial %g",
+					w, i, got[w][i], want[w][i])
+			}
+		}
+	}
+}

@@ -1,11 +1,17 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"tokenpicker/internal/tensor"
 )
+
+// ErrContextFull reports that a decoder has consumed MaxSeq tokens and
+// cannot accept more. Serving code uses it to finish or evict a session
+// instead of crashing a worker.
+var ErrContextFull = errors.New("model: context full")
 
 // Kernel computes one attention head's output for a single decode query.
 // Implementations range from exact softmax to the Token-Picker estimator.
@@ -15,7 +21,7 @@ import (
 // (the subtrahend is the ALiBi recency bias; the query is always the newest
 // position n-1). The kernel writes the weighted value sum into out.
 type Kernel interface {
-	Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int)
+	Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int)
 }
 
 // ExactKernel is the reference full-softmax attention used during the prompt
@@ -26,7 +32,7 @@ type ExactKernel struct {
 }
 
 // Attend implements Kernel with exact float32 softmax attention.
-func (k *ExactKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (k *ExactKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	if cap(k.scores) < n {
 		k.scores = make([]float32, n)
 		k.probs = make([]float32, n)
@@ -47,7 +53,7 @@ func (k *ExactKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, sc
 
 // Scores computes the raw attention scores without the softmax; experiment
 // code uses this to inspect distributions (paper Fig. 3).
-func Scores(q []float32, keys *tensor.Mat, n int, scale, slope float32) []float32 {
+func Scores(q []float32, keys tensor.RowSource, n int, scale, slope float32) []float32 {
 	scores := make([]float32, n)
 	for i := 0; i < n; i++ {
 		scores[i] = scale*tensor.Dot(q, keys.Row(i)[:len(q)]) - slope*float32(n-1-i)
@@ -55,15 +61,96 @@ func Scores(q []float32, keys *tensor.Mat, n int, scale, slope float32) []float3
 	return scores
 }
 
-// headCache is the KV cache for one (layer, head).
+// KVCache is the per-(layer, head) key or value store of a decoder session.
+// Rows are HeadDim wide; row i is written once (when token i is consumed)
+// and read by every later attention call. Implementations may keep rows
+// dense or lease fixed-size blocks from a shared pool.
+type KVCache interface {
+	tensor.RowSource
+	// EnsureLen makes rows [0, n) addressable, acquiring storage as
+	// needed. It returns ErrContextFull when n exceeds the session's
+	// context budget, or a pool-specific error when storage is exhausted.
+	// Rows made addressable by a failed call may remain allocated.
+	EnsureLen(n int) error
+	// Truncate drops all rows but keeps the cache usable for a new
+	// sequence; pooled implementations return their blocks.
+	Truncate()
+	// Release returns all storage; the cache must not be used afterwards.
+	Release()
+}
+
+// CacheProvider allocates the 2*Layers*Heads KV caches behind a decoder.
+// The serving engine installs a block-paged pooled provider; the default
+// provider grows dense buffers on demand.
+type CacheProvider interface {
+	NewKVCache(maxSeq, headDim int) KVCache
+}
+
+// denseCache is the default KVCache: a dense buffer that starts small and
+// doubles up to maxSeq rows, so short sessions never pay for the full
+// context window.
+type denseCache struct {
+	data    []float32
+	rows    int
+	headDim int
+	maxSeq  int
+}
+
+// denseInitRows is the initial row capacity of a dense cache.
+const denseInitRows = 64
+
+func (c *denseCache) Row(r int) []float32 {
+	return c.data[r*c.headDim : (r+1)*c.headDim]
+}
+
+func (c *denseCache) EnsureLen(n int) error {
+	if n > c.maxSeq {
+		return ErrContextFull
+	}
+	if n <= c.rows {
+		return nil
+	}
+	rows := c.rows
+	if rows == 0 {
+		rows = denseInitRows
+	}
+	for rows < n {
+		rows *= 2
+	}
+	if rows > c.maxSeq {
+		rows = c.maxSeq
+	}
+	grown := make([]float32, rows*c.headDim)
+	copy(grown, c.data)
+	c.data = grown
+	c.rows = rows
+	return nil
+}
+
+func (c *denseCache) Truncate() {}
+
+func (c *denseCache) Release() { c.data = nil; c.rows = 0 }
+
+// denseProvider is the default CacheProvider.
+type denseProvider struct{}
+
+func (denseProvider) NewKVCache(maxSeq, headDim int) KVCache {
+	return &denseCache{headDim: headDim, maxSeq: maxSeq}
+}
+
+// headCache is the KV cache pair for one (layer, head).
 type headCache struct {
-	K, V *tensor.Mat // MaxSeq x HeadDim
+	K, V KVCache
 }
 
 // Decoder runs token-by-token generation with a KV cache, delegating the
 // attention weighted-sum to a Kernel. The prompt phase always uses exact
 // attention (the paper preloads all K/V on-chip during prompt and applies
 // pruning only to the memory-bound generation phase).
+//
+// A Decoder is not goroutine-safe: it carries mutable scratch and so do the
+// kernels plugged into it. Concurrent sessions each need their own Decoder
+// (sharing one read-only *Params is fine).
 type Decoder struct {
 	P      *Params
 	Kernel Kernel
@@ -80,8 +167,19 @@ type Decoder struct {
 
 // NewDecoder creates a decoder with the given attention kernel for the
 // generation phase. kernel may be nil, which means exact attention
-// everywhere.
+// everywhere. KV storage uses the default on-demand dense provider.
 func NewDecoder(p *Params, kernel Kernel) *Decoder {
+	return NewDecoderWith(p, kernel, nil)
+}
+
+// NewDecoderWith creates a decoder whose KV caches come from the given
+// provider (nil = default dense provider). The serving engine passes a
+// pooled block-paged provider here so thousands of short sessions share
+// recycled storage.
+func NewDecoderWith(p *Params, kernel Kernel, prov CacheProvider) *Decoder {
+	if prov == nil {
+		prov = denseProvider{}
+	}
 	d := p.Cfg.DModel()
 	dec := &Decoder{
 		P:       p,
@@ -99,40 +197,69 @@ func NewDecoder(p *Params, kernel Kernel) *Decoder {
 		dec.caches[l] = make([]headCache, p.Cfg.Heads)
 		for h := range dec.caches[l] {
 			dec.caches[l][h] = headCache{
-				K: tensor.NewMat(p.Cfg.MaxSeq, p.Cfg.HeadDim),
-				V: tensor.NewMat(p.Cfg.MaxSeq, p.Cfg.HeadDim),
+				K: prov.NewKVCache(p.Cfg.MaxSeq, p.Cfg.HeadDim),
+				V: prov.NewKVCache(p.Cfg.MaxSeq, p.Cfg.HeadDim),
 			}
 		}
 	}
 	return dec
 }
 
-// Reset clears the KV cache for a new sequence.
-func (dec *Decoder) Reset() { dec.n = 0 }
+// Reset clears the KV cache for a new sequence. Pooled caches return their
+// blocks; the decoder stays usable.
+func (dec *Decoder) Reset() {
+	dec.n = 0
+	for _, layer := range dec.caches {
+		for _, c := range layer {
+			c.K.Truncate()
+			c.V.Truncate()
+		}
+	}
+}
+
+// Release returns all KV storage to its provider. The decoder must not be
+// used afterwards; serving sessions call this on completion so the pool can
+// recycle their blocks.
+func (dec *Decoder) Release() {
+	dec.n = 0
+	for _, layer := range dec.caches {
+		for _, c := range layer {
+			c.K.Release()
+			c.V.Release()
+		}
+	}
+}
 
 // Len returns the number of tokens consumed.
 func (dec *Decoder) Len() int { return dec.n }
 
-// Cache exposes the K and V cache matrices for (layer, head); rows [0, Len)
+// Cache exposes the K and V cache views for (layer, head); rows [0, Len)
 // are valid. The experiment harness reads these to build accelerator traces.
-func (dec *Decoder) Cache(layer, head int) (keys, vals *tensor.Mat) {
+func (dec *Decoder) Cache(layer, head int) (keys, vals tensor.RowSource) {
 	c := dec.caches[layer][head]
 	return c.K, c.V
 }
 
 // Prompt consumes the prompt tokens with exact attention, filling the KV
-// cache. It returns the logits after the final prompt token.
-func (dec *Decoder) Prompt(tokens []int) []float32 {
+// cache. It returns the logits after the final prompt token. On error
+// (ErrContextFull, or a pool allocation failure) the tokens before the
+// failing one remain consumed.
+func (dec *Decoder) Prompt(tokens []int) ([]float32, error) {
 	var logits []float32
 	for _, t := range tokens {
-		logits = dec.step(t, &dec.exact)
+		var err error
+		logits, err = dec.step(t, &dec.exact)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return logits
+	return logits, nil
 }
 
 // Step consumes one generation-phase token and returns next-token logits.
-// The configured kernel handles attention; nil means exact.
-func (dec *Decoder) Step(token int) []float32 {
+// The configured kernel handles attention; nil means exact. It returns
+// ErrContextFull once MaxSeq tokens have been consumed.
+func (dec *Decoder) Step(token int) ([]float32, error) {
 	k := dec.Kernel
 	if k == nil {
 		k = &dec.exact
@@ -140,16 +267,49 @@ func (dec *Decoder) Step(token int) []float32 {
 	return dec.step(token, k)
 }
 
-func (dec *Decoder) step(token int, kernel Kernel) []float32 {
+// MustStep is Step for callers that have already bounded the sequence
+// length; it panics on error.
+func (dec *Decoder) MustStep(token int) []float32 {
+	logits, err := dec.Step(token)
+	if err != nil {
+		panic(err)
+	}
+	return logits
+}
+
+// MustPrompt is Prompt for callers that have already bounded the sequence
+// length; it panics on error.
+func (dec *Decoder) MustPrompt(tokens []int) []float32 {
+	logits, err := dec.Prompt(tokens)
+	if err != nil {
+		panic(err)
+	}
+	return logits
+}
+
+func (dec *Decoder) step(token int, kernel Kernel) ([]float32, error) {
 	cfg := dec.P.Cfg
 	if token < 0 || token >= cfg.VocabSize {
 		panic(fmt.Sprintf("model: token %d out of vocab range", token))
 	}
 	if dec.n >= cfg.MaxSeq {
-		panic(fmt.Sprintf("model: context overflow at %d (max %d)", dec.n, cfg.MaxSeq))
+		return nil, fmt.Errorf("%w: %d tokens (max %d)", ErrContextFull, dec.n, cfg.MaxSeq)
+	}
+	pos := dec.n
+	// Acquire row pos in every cache before touching any state, so a
+	// failed acquisition leaves the decoder consistent and retryable
+	// (over-extended caches are harmless: validity is bounded by dec.n).
+	for _, layer := range dec.caches {
+		for _, c := range layer {
+			if err := c.K.EnsureLen(pos + 1); err != nil {
+				return nil, err
+			}
+			if err := c.V.EnsureLen(pos + 1); err != nil {
+				return nil, err
+			}
+		}
 	}
 	hd := cfg.HeadDim
-	pos := dec.n
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
 	copy(dec.x, dec.P.TokEmb.Row(token))
@@ -189,5 +349,5 @@ func (dec *Decoder) step(token int, kernel Kernel) []float32 {
 	tensor.LayerNorm(dec.h, dec.x, dec.P.LnFG, dec.P.LnFB, cfg.Eps)
 	tensor.MatVec(dec.logits, dec.P.TokEmb, dec.h)
 	dec.n++
-	return dec.logits
+	return dec.logits, nil
 }

@@ -47,8 +47,8 @@ func TestParamsRoundTripProducesIdenticalLogits(t *testing.T) {
 	d1 := NewDecoder(p, nil)
 	d2 := NewDecoder(q, nil)
 	toks := []int{1, 5, 9, 2, 4}
-	l1 := d1.Prompt(toks)
-	l2 := d2.Prompt(toks)
+	l1 := d1.MustPrompt(toks)
+	l2 := d2.MustPrompt(toks)
 	for i := range l1 {
 		if l1[i] != l2[i] {
 			t.Fatalf("logit %d differs after round trip", i)

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -86,9 +87,9 @@ func TestDecoderDeterministicAndResettable(t *testing.T) {
 	p := NewParams(TestConfig(), 3)
 	dec := NewDecoder(p, nil)
 	toks := []int{1, 2, 3, 4, 5}
-	first := append([]float32{}, dec.Prompt(toks)...)
+	first := append([]float32{}, dec.MustPrompt(toks)...)
 	dec.Reset()
-	second := dec.Prompt(toks)
+	second := dec.MustPrompt(toks)
 	for i := range first {
 		if first[i] != second[i] {
 			t.Fatalf("reset decoder diverged at logit %d", i)
@@ -110,13 +111,39 @@ func TestDecoderPanicsOnBadToken(t *testing.T) {
 	dec.Step(p.Cfg.VocabSize)
 }
 
+func TestStepReturnsErrContextFull(t *testing.T) {
+	cfg := TestConfig()
+	cfg.MaxSeq = 8
+	p := NewParams(cfg, 3)
+	dec := NewDecoder(p, nil)
+	for i := 0; i < cfg.MaxSeq; i++ {
+		if _, err := dec.Step(i % cfg.VocabSize); err != nil {
+			t.Fatalf("step %d failed early: %v", i, err)
+		}
+	}
+	if _, err := dec.Step(1); !errors.Is(err, ErrContextFull) {
+		t.Fatalf("step beyond MaxSeq returned %v, want ErrContextFull", err)
+	}
+	// Prompt surfaces the same sentinel.
+	dec.Reset()
+	long := make([]int, cfg.MaxSeq+1)
+	if _, err := dec.Prompt(long); !errors.Is(err, ErrContextFull) {
+		t.Fatalf("prompt beyond MaxSeq returned %v, want ErrContextFull", err)
+	}
+	// Reset clears the window so decoding can continue.
+	dec.Reset()
+	if _, err := dec.Step(1); err != nil {
+		t.Fatalf("step after reset failed: %v", err)
+	}
+}
+
 func TestKernelSeesGrowingContext(t *testing.T) {
 	p := NewParams(TestConfig(), 4)
 	probe := &probeKernel{}
 	dec := NewDecoder(p, probe)
-	dec.Prompt([]int{1, 2})
+	dec.MustPrompt([]int{1, 2})
 	for i := 0; i < 4; i++ {
-		dec.Step(3)
+		dec.MustStep(3)
 	}
 	// Prompt uses exact attention (kernel not called); generation calls it
 	// layers*heads times per step with n = 3, 4, 5, 6.
@@ -138,7 +165,7 @@ type probeKernel struct {
 	ns    []int
 }
 
-func (pk *probeKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (pk *probeKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	pk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
 	pk.ns = append(pk.ns, n)
 }
@@ -146,7 +173,7 @@ func (pk *probeKernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, s
 func TestScoresHelper(t *testing.T) {
 	p := NewParams(TestConfig(), 5)
 	dec := NewDecoder(p, nil)
-	dec.Prompt([]int{1, 2, 3})
+	dec.MustPrompt([]int{1, 2, 3})
 	keys, _ := dec.Cache(0, 0)
 	q := make([]float32, p.Cfg.HeadDim)
 	q[0] = 1

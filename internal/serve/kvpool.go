@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tokenpicker/internal/model"
+)
+
+// ErrNoBlocks reports that the pool's MaxBlocks budget is exhausted. The
+// scheduler surfaces it to the failing session (which finishes with
+// ReasonRejected) instead of crashing a worker; already-leased blocks keep
+// serving their sessions.
+var ErrNoBlocks = errors.New("serve: kv pool out of blocks")
+
+// Pool is a block-paged KV-cache allocator. Instead of eagerly allocating
+// MaxSeq x HeadDim per (layer, head) per session — the seed decoder's
+// behaviour — sessions lease fixed-size blocks of BlockRows rows as their
+// context actually grows, and return them on completion so the next session
+// reuses the same memory. Thousands of short sessions therefore cost peak
+// working set, not sessions x full context window.
+//
+// A Pool is goroutine-safe; one pool serves every worker of a Server.
+type Pool struct {
+	blockRows int
+	headDim   int
+	maxBlocks int // 0 = unbounded
+
+	mu    sync.Mutex
+	free  [][]float32
+	stats PoolStats
+}
+
+// PoolStats is a snapshot of pool accounting.
+type PoolStats struct {
+	BlockRows int   // rows per block
+	HeadDim   int   // floats per row
+	Allocated int64 // blocks ever backed by fresh memory
+	Leases    int64 // block leases handed out (Allocated + recycled)
+	InUse     int64 // blocks currently leased
+	Peak      int64 // high-water mark of InUse
+}
+
+// Recycled returns how many leases were served from returned blocks rather
+// than fresh allocations.
+func (s PoolStats) Recycled() int64 { return s.Leases - s.Allocated }
+
+// AllocatedRows returns the total rows ever backed by memory — the number
+// to compare against sessions x MaxSeq eager allocation.
+func (s PoolStats) AllocatedRows() int64 { return s.Allocated * int64(s.BlockRows) }
+
+func (s PoolStats) String() string {
+	return fmt.Sprintf("blocks %dx%d floats: allocated %d, leased %d (%d recycled), in use %d, peak %d",
+		s.BlockRows, s.HeadDim, s.Allocated, s.Leases, s.Recycled(), s.InUse, s.Peak)
+}
+
+// NewPool creates a pool of blockRows x headDim blocks. maxBlocks bounds
+// the blocks that may be live at once (0 = unbounded).
+func NewPool(blockRows, headDim, maxBlocks int) *Pool {
+	if blockRows < 1 || headDim < 1 {
+		panic(fmt.Sprintf("serve: bad pool geometry %dx%d", blockRows, headDim))
+	}
+	return &Pool{
+		blockRows: blockRows,
+		headDim:   headDim,
+		maxBlocks: maxBlocks,
+		stats:     PoolStats{BlockRows: blockRows, HeadDim: headDim},
+	}
+}
+
+// Stats returns a snapshot of the pool accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// lease hands out one block, recycling a returned one when available.
+func (p *Pool) lease() ([]float32, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.maxBlocks > 0 && p.stats.InUse >= int64(p.maxBlocks) {
+		return nil, fmt.Errorf("%w: %d in use (max %d)", ErrNoBlocks, p.stats.InUse, p.maxBlocks)
+	}
+	var b []float32
+	if n := len(p.free); n > 0 {
+		b = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		b = make([]float32, p.blockRows*p.headDim)
+		p.stats.Allocated++
+	}
+	p.stats.Leases++
+	p.stats.InUse++
+	if p.stats.InUse > p.stats.Peak {
+		p.stats.Peak = p.stats.InUse
+	}
+	return b, nil
+}
+
+// giveBack returns blocks to the free list.
+func (p *Pool) giveBack(blocks [][]float32) {
+	if len(blocks) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, blocks...)
+	p.stats.InUse -= int64(len(blocks))
+}
+
+// Provider adapts the pool to the decoder's cache-provider hook, so
+// model.NewDecoderWith(params, kernel, pool.Provider()) pages every KV cache
+// of that decoder through the pool.
+func (p *Pool) Provider() model.CacheProvider { return poolProvider{p} }
+
+type poolProvider struct{ pool *Pool }
+
+func (pp poolProvider) NewKVCache(maxSeq, headDim int) model.KVCache {
+	if headDim != pp.pool.headDim {
+		panic(fmt.Sprintf("serve: pool rows are %d floats, model head dim is %d",
+			pp.pool.headDim, headDim))
+	}
+	return &pagedCache{pool: pp.pool, maxSeq: maxSeq}
+}
+
+// pagedCache implements model.KVCache over leased pool blocks. Row i lives
+// in block i/BlockRows; blocks are leased on first touch and returned by
+// Truncate/Release. Not goroutine-safe, like the decoder that owns it.
+type pagedCache struct {
+	pool   *Pool
+	blocks [][]float32
+	maxSeq int
+}
+
+func (c *pagedCache) Row(i int) []float32 {
+	hd := c.pool.headDim
+	off := (i % c.pool.blockRows) * hd
+	return c.blocks[i/c.pool.blockRows][off : off+hd]
+}
+
+func (c *pagedCache) EnsureLen(n int) error {
+	if n > c.maxSeq {
+		return model.ErrContextFull
+	}
+	for n > len(c.blocks)*c.pool.blockRows {
+		b, err := c.pool.lease()
+		if err != nil {
+			return err
+		}
+		c.blocks = append(c.blocks, b)
+	}
+	return nil
+}
+
+func (c *pagedCache) Truncate() {
+	c.pool.giveBack(c.blocks)
+	c.blocks = c.blocks[:0]
+}
+
+func (c *pagedCache) Release() {
+	c.pool.giveBack(c.blocks)
+	c.blocks = nil
+}

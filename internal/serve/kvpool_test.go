@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"tokenpicker/internal/model"
+)
+
+func TestPagedCacheRowsSurviveBlockBoundaries(t *testing.T) {
+	const (
+		blockRows = 4
+		headDim   = 8
+		maxSeq    = 64
+	)
+	pool := NewPool(blockRows, headDim, 0)
+	cache := pool.Provider().NewKVCache(maxSeq, headDim)
+
+	const rows = 19 // spans 5 blocks, last one partial
+	if err := cache.EnsureLen(rows); err != nil {
+		t.Fatalf("EnsureLen(%d): %v", rows, err)
+	}
+	for i := 0; i < rows; i++ {
+		row := cache.Row(i)
+		if len(row) != headDim {
+			t.Fatalf("row %d has %d cols", i, len(row))
+		}
+		for j := range row {
+			row[j] = float32(i*headDim + j)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j, v := range cache.Row(i) {
+			if v != float32(i*headDim+j) {
+				t.Fatalf("row %d col %d: got %g", i, j, v)
+			}
+		}
+	}
+	st := pool.Stats()
+	wantBlocks := int64((rows + blockRows - 1) / blockRows)
+	if st.Allocated != wantBlocks || st.InUse != wantBlocks {
+		t.Fatalf("stats %+v, want %d blocks allocated and in use", st, wantBlocks)
+	}
+
+	if err := cache.EnsureLen(maxSeq + 1); !errors.Is(err, model.ErrContextFull) {
+		t.Fatalf("EnsureLen beyond maxSeq: %v, want ErrContextFull", err)
+	}
+}
+
+func TestPoolRecyclesAcrossSessions(t *testing.T) {
+	pool := NewPool(4, 8, 0)
+	prov := pool.Provider()
+
+	first := prov.NewKVCache(64, 8)
+	if err := first.EnsureLen(16); err != nil { // 4 blocks
+		t.Fatal(err)
+	}
+	first.Release()
+	if st := pool.Stats(); st.InUse != 0 || st.Allocated != 4 {
+		t.Fatalf("after release: %+v", st)
+	}
+
+	second := prov.NewKVCache(64, 8)
+	if err := second.EnsureLen(12); err != nil { // 3 blocks, all recycled
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Allocated != 4 {
+		t.Fatalf("second session allocated fresh blocks: %+v", st)
+	}
+	if st.Recycled() != 3 {
+		t.Fatalf("recycled %d blocks, want 3 (%+v)", st.Recycled(), st)
+	}
+	if st.Peak != 4 {
+		t.Fatalf("peak %d, want 4", st.Peak)
+	}
+
+	// Truncate behaves like Release for accounting but keeps the cache usable.
+	second.Truncate()
+	if st := pool.Stats(); st.InUse != 0 {
+		t.Fatalf("after truncate: %+v", st)
+	}
+	if err := second.EnsureLen(4); err != nil {
+		t.Fatalf("reuse after truncate: %v", err)
+	}
+}
+
+func TestPoolMaxBlocks(t *testing.T) {
+	pool := NewPool(4, 8, 2)
+	cache := pool.Provider().NewKVCache(64, 8)
+	if err := cache.EnsureLen(8); err != nil { // exactly 2 blocks
+		t.Fatal(err)
+	}
+	err := cache.EnsureLen(9)
+	if !errors.Is(err, ErrNoBlocks) {
+		t.Fatalf("over-budget EnsureLen: %v, want ErrNoBlocks", err)
+	}
+	cache.Release()
+	if err := cache.EnsureLen(8); err != nil {
+		t.Fatalf("lease after release: %v", err)
+	}
+}
+
+func TestProviderRejectsMismatchedHeadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched head dim should panic")
+		}
+	}()
+	NewPool(4, 8, 0).Provider().NewKVCache(64, 16)
+}

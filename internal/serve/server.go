@@ -1,0 +1,530 @@
+// Package serve is a continuous-batching inference engine over the
+// Token-Picker decoder. Generation requests are admitted into a run queue
+// and time-sliced across a fixed pool of workers: each dispatch advances one
+// session by a prompt chunk or a few generation steps and then requeues it,
+// so a new request starts decoding immediately instead of waiting for the
+// batch in flight to drain (continuous batching at token granularity).
+//
+// Each worker owns one attention kernel — kernels carry mutable scratch and
+// are not goroutine-safe — while every session owns a decoder whose KV
+// caches are leased block-by-block from a shared Pool and recycled on
+// completion. Per-session transfer statistics are aggregated fleet-wide, so
+// the server reports the pruning ratio and off-chip-traffic savings of the
+// whole workload, the multi-tenant regime the paper's memory-bound analysis
+// targets.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/tensor"
+)
+
+// Admission errors.
+var (
+	ErrServerClosed = errors.New("serve: server closed")
+	ErrBusy         = errors.New("serve: too many active sessions")
+	ErrEmptyPrompt  = errors.New("serve: request needs a non-empty prompt")
+	ErrBadToken     = errors.New("serve: prompt token out of vocabulary")
+)
+
+// FinishReason tells why a session stopped producing tokens.
+type FinishReason string
+
+const (
+	// ReasonLength: the session produced MaxNewTokens tokens.
+	ReasonLength FinishReason = "length"
+	// ReasonContextFull: the model's context window filled up.
+	ReasonContextFull FinishReason = "context_full"
+	// ReasonCanceled: the request context was canceled or timed out.
+	ReasonCanceled FinishReason = "canceled"
+	// ReasonRejected: the KV pool ran out of blocks mid-flight.
+	ReasonRejected FinishReason = "rejected"
+)
+
+// Config sizes a Server. The zero value is usable: NumCPU workers, exact
+// attention, and paper-ish defaults everywhere else.
+type Config struct {
+	// Workers is the number of decode workers (default NumCPU).
+	Workers int
+	// MaxSessions bounds concurrently admitted sessions (default 64).
+	MaxSessions int
+	// Quantum is how many generation steps a session advances per
+	// dispatch before being requeued (default 1: token-level
+	// interleaving, the finest-grained continuous batching).
+	Quantum int
+	// PromptChunk is how many prompt tokens are prefilled per dispatch,
+	// so long prompts cannot starve running generations (default 32).
+	PromptChunk int
+	// BlockRows is the KV pool block granularity in rows (default 32).
+	BlockRows int
+	// MaxBlocks bounds live pool blocks; 0 = unbounded.
+	MaxBlocks int
+	// DefaultMaxNew applies when a request leaves MaxNewTokens zero
+	// (default 64).
+	DefaultMaxNew int
+	// NewKernel builds one generation-phase attention kernel per worker;
+	// nil means exact attention. Because one worker's kernel serves many
+	// interleaved sessions, kernels must not carry state across Attend
+	// calls beyond reusable scratch: the Token-Picker, quantized-exact
+	// and oracle kernels qualify, the SpAtten cascade kernel does NOT
+	// (it accumulates per-sequence token importance and needs a fresh
+	// instance per generation). Kernels exposing Stats/ResetStats feed
+	// the fleet-wide transfer report.
+	NewKernel func() model.Kernel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 1
+	}
+	if c.PromptChunk <= 0 {
+		c.PromptChunk = 32
+	}
+	if c.BlockRows <= 0 {
+		c.BlockRows = 32
+	}
+	if c.DefaultMaxNew <= 0 {
+		c.DefaultMaxNew = 64
+	}
+	return c
+}
+
+// Request describes one generation job.
+type Request struct {
+	Prompt       []int
+	MaxNewTokens int     // 0 = Config.DefaultMaxNew
+	Temperature  float64 // <= 0: greedy argmax
+	Seed         int64   // sampling seed (Temperature > 0)
+}
+
+// Result is the terminal state of a session.
+type Result struct {
+	Reason    FinishReason
+	Err       error // non-nil for ReasonCanceled / ReasonRejected
+	Generated int   // tokens emitted
+	PromptLen int
+	// TTFT is the time from Submit to the first emitted token (zero if the
+	// session finished without emitting). Recorded at emission inside the
+	// engine, so it is immune to consumer scheduling delays.
+	TTFT time.Duration
+	// Elapsed is the time from Submit to session finish.
+	Elapsed time.Duration
+}
+
+// Stream delivers a session's output. Tokens is buffered for the whole
+// response, so a slow consumer never blocks a worker; it is closed when the
+// session finishes.
+type Stream struct {
+	Tokens <-chan int
+	done   chan struct{}
+	res    Result
+}
+
+// Result blocks until the session finishes and returns its terminal state.
+func (s *Stream) Result() Result {
+	<-s.done
+	return s.res
+}
+
+// session is one admitted request moving through the scheduler.
+type session struct {
+	ctx       context.Context
+	req       Request
+	dec       *model.Decoder
+	stream    *Stream
+	emit      chan<- int
+	rng       *rand.Rand
+	submitted time.Time
+	firstTok  time.Time // zero until the first token is emitted
+	promptPos int       // prompt tokens consumed so far
+	next      int       // next token to feed to Step (already emitted)
+	generated int
+	scratch   []float32 // sampling scratch
+}
+
+// statKernel matches kernels that account their off-chip traffic.
+type statKernel interface {
+	Stats() attention.Stats
+	ResetStats()
+}
+
+// Server is the continuous-batching engine.
+type Server struct {
+	cfg    Config
+	params *model.Params
+	pool   *Pool
+	sched  scheduler
+	wg     sync.WaitGroup // workers
+	sessWG sync.WaitGroup // in-flight sessions
+
+	mu       sync.Mutex
+	closed   bool
+	active   int
+	peak     int
+	admitted int64
+	finished map[FinishReason]int64
+	prompted int64
+	genToks  int64
+	agg      attention.Stats
+}
+
+// Report is a fleet-wide snapshot: session counts, token counts, peak
+// concurrency, aggregated attention-transfer statistics, and pool state.
+// Counts lag the currently executing quanta slightly until Close.
+type Report struct {
+	Admitted       int64
+	Finished       map[FinishReason]int64
+	PromptTokens   int64
+	GenTokens      int64
+	PeakConcurrent int
+	Attn           attention.Stats
+	Pool           PoolStats
+}
+
+// Completed sums finished sessions across reasons.
+func (r Report) Completed() int64 {
+	var n int64
+	for _, v := range r.Finished {
+		n += v
+	}
+	return n
+}
+
+// NewServer builds a server over trained params and starts its workers.
+func NewServer(params *model.Params, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		params:   params,
+		pool:     NewPool(cfg.BlockRows, params.Cfg.HeadDim, cfg.MaxBlocks),
+		finished: make(map[FinishReason]int64),
+	}
+	s.sched.cond = sync.NewCond(&s.sched.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Pool exposes the server's KV block pool (read its Stats for reporting).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Submit admits a request. It returns ErrBusy when MaxSessions sessions are
+// in flight and ErrServerClosed after Close. The returned stream carries
+// the generated tokens; ctx cancellation or deadline stops the session at
+// its next scheduling quantum.
+func (s *Server) Submit(ctx context.Context, req Request) (*Stream, error) {
+	if len(req.Prompt) == 0 {
+		return nil, ErrEmptyPrompt
+	}
+	// Reject out-of-vocabulary tokens at admission: the decoder panics on
+	// them, and a panic in a worker would take down every session.
+	for i, t := range req.Prompt {
+		if t < 0 || t >= s.params.Cfg.VocabSize {
+			return nil, fmt.Errorf("%w: token %d at position %d (vocab %d)",
+				ErrBadToken, t, i, s.params.Cfg.VocabSize)
+		}
+	}
+	if req.MaxNewTokens <= 0 {
+		req.MaxNewTokens = s.cfg.DefaultMaxNew
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	if s.active >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d active", ErrBusy, s.cfg.MaxSessions)
+	}
+	s.active++
+	if s.active > s.peak {
+		s.peak = s.active
+	}
+	s.admitted++
+	// Register with the drain group while still holding the lock: a
+	// concurrent Close observes either closed-before-us (we bailed above)
+	// or a non-zero session count, never a window where the session is
+	// admitted but invisible to sessWG.Wait.
+	s.sessWG.Add(1)
+	s.mu.Unlock()
+
+	// A session can emit at most MaxSeq tokens before the window fills, so
+	// cap the stream buffer there: huge MaxNewTokens values must not
+	// reserve memory they can never use.
+	buf := req.MaxNewTokens
+	if max := s.params.Cfg.MaxSeq; buf > max {
+		buf = max
+	}
+	tokens := make(chan int, buf)
+	sess := &session{
+		ctx:       ctx,
+		req:       req,
+		dec:       model.NewDecoderWith(s.params, nil, s.pool.Provider()),
+		emit:      tokens,
+		rng:       rand.New(rand.NewSource(req.Seed)),
+		submitted: time.Now(),
+		scratch:   make([]float32, s.params.Cfg.VocabSize),
+	}
+	sess.stream = &Stream{Tokens: tokens, done: make(chan struct{})}
+	s.sched.push(sess)
+	return sess.stream, nil
+}
+
+// Close stops admission, waits for in-flight sessions to drain, and shuts
+// the workers down. It is safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.sessWG.Wait()
+	s.sched.close()
+	s.wg.Wait()
+}
+
+// Report snapshots the fleet-wide statistics.
+func (s *Server) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Report{
+		Admitted:       s.admitted,
+		Finished:       make(map[FinishReason]int64, len(s.finished)),
+		PromptTokens:   s.prompted,
+		GenTokens:      s.genToks,
+		PeakConcurrent: s.peak,
+		Pool:           s.pool.Stats(),
+	}
+	for k, v := range s.finished {
+		r.Finished[k] = v
+	}
+	r.Attn.Add(s.agg)
+	return r
+}
+
+// worker runs dispatch quanta until the scheduler closes. The kernel built
+// here is this goroutine's alone; sessions borrow it for the duration of a
+// quantum.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var kernel model.Kernel
+	if s.cfg.NewKernel != nil {
+		kernel = s.cfg.NewKernel()
+	}
+	for {
+		sess, ok := s.sched.pop()
+		if !ok {
+			return
+		}
+		done := s.dispatch(sess, kernel)
+		if sk, ok := kernel.(statKernel); ok {
+			delta := sk.Stats()
+			sk.ResetStats()
+			s.mu.Lock()
+			s.agg.Add(delta)
+			s.mu.Unlock()
+		}
+		if !done {
+			s.sched.push(sess)
+		}
+	}
+}
+
+// dispatch advances one session by a single quantum: a prompt chunk while
+// the prompt is unconsumed, then Quantum generation steps. It reports
+// whether the session finished.
+func (s *Server) dispatch(sess *session, kernel model.Kernel) bool {
+	if err := sess.ctx.Err(); err != nil {
+		s.finish(sess, Result{Reason: ReasonCanceled, Err: err})
+		return true
+	}
+	sess.dec.Kernel = kernel
+
+	if sess.promptPos < len(sess.req.Prompt) {
+		return s.prefill(sess)
+	}
+	// Count steps locally and publish once per quantum — the per-token
+	// path must not take the global mutex.
+	stepped := 0
+	defer func() {
+		if stepped > 0 {
+			s.mu.Lock()
+			s.genToks += int64(stepped)
+			s.mu.Unlock()
+		}
+	}()
+	for i := 0; i < s.cfg.Quantum; i++ {
+		if err := sess.ctx.Err(); err != nil {
+			s.finish(sess, Result{Reason: ReasonCanceled, Err: err})
+			return true
+		}
+		logits, err := sess.dec.Step(sess.next)
+		if err != nil {
+			s.finishErr(sess, err)
+			return true
+		}
+		stepped++
+		if s.advance(sess, logits) {
+			return true
+		}
+	}
+	return false
+}
+
+// prefill consumes one prompt chunk with exact attention; on the last chunk
+// it samples and emits the first generated token.
+func (s *Server) prefill(sess *session) bool {
+	end := sess.promptPos + s.cfg.PromptChunk
+	if end > len(sess.req.Prompt) {
+		end = len(sess.req.Prompt)
+	}
+	logits, err := sess.dec.Prompt(sess.req.Prompt[sess.promptPos:end])
+	if err != nil {
+		// The decoder may have consumed part of the chunk before failing;
+		// account for what actually entered the KV cache.
+		consumed := sess.dec.Len() - sess.promptPos
+		sess.promptPos = sess.dec.Len()
+		s.mu.Lock()
+		s.prompted += int64(consumed)
+		s.mu.Unlock()
+		s.finishErr(sess, err)
+		return true
+	}
+	consumed := end - sess.promptPos
+	sess.promptPos = end
+	s.mu.Lock()
+	s.prompted += int64(consumed)
+	s.mu.Unlock()
+	if sess.promptPos == len(sess.req.Prompt) {
+		return s.advance(sess, logits)
+	}
+	return false
+}
+
+// advance samples the next token from logits, emits it, and reports whether
+// the session is finished (length budget spent).
+func (s *Server) advance(sess *session, logits []float32) bool {
+	tok := sess.sample(logits)
+	sess.emit <- tok
+	if sess.generated == 0 {
+		sess.firstTok = time.Now()
+	}
+	sess.next = tok
+	sess.generated++
+	if sess.generated >= sess.req.MaxNewTokens {
+		s.finish(sess, Result{Reason: ReasonLength})
+		return true
+	}
+	return false
+}
+
+// finishErr maps decoder/pool errors to a terminal reason.
+func (s *Server) finishErr(sess *session, err error) {
+	reason := ReasonRejected
+	if errors.Is(err, model.ErrContextFull) {
+		reason = ReasonContextFull
+		err = nil // expected terminal condition, not a failure
+	}
+	s.finish(sess, Result{Reason: reason, Err: err})
+}
+
+// finish releases the session's KV blocks back to the pool, records the
+// outcome, and wakes the stream's consumer.
+func (s *Server) finish(sess *session, res Result) {
+	res.Generated = sess.generated
+	res.PromptLen = sess.promptPos
+	res.Elapsed = time.Since(sess.submitted)
+	if !sess.firstTok.IsZero() {
+		res.TTFT = sess.firstTok.Sub(sess.submitted)
+	}
+	sess.dec.Release()
+	close(sess.emit)
+	sess.stream.res = res
+	close(sess.stream.done)
+
+	s.mu.Lock()
+	s.active--
+	s.finished[res.Reason]++
+	s.mu.Unlock()
+	s.sessWG.Done()
+}
+
+// sample draws the next token: argmax when Temperature <= 0, else a
+// temperature-scaled softmax draw from the session's seeded rng.
+func (sess *session) sample(logits []float32) int {
+	temp := sess.req.Temperature
+	if temp <= 0 {
+		return tensor.Argmax(logits)
+	}
+	scaled := sess.scratch[:len(logits)]
+	for i, v := range logits {
+		scaled[i] = v / float32(temp)
+	}
+	tensor.Softmax(scaled, scaled)
+	u := sess.rng.Float64()
+	var acc float64
+	for i, p := range scaled {
+		acc += float64(p)
+		if u <= acc {
+			return i
+		}
+	}
+	return len(scaled) - 1
+}
+
+// scheduler is the FIFO run queue workers pull dispatch quanta from.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*session
+	closed bool
+}
+
+func (sc *scheduler) push(sess *session) {
+	sc.mu.Lock()
+	sc.q = append(sc.q, sess)
+	sc.mu.Unlock()
+	sc.cond.Signal()
+}
+
+// pop blocks for the next runnable session; ok is false once the scheduler
+// is closed and drained.
+func (sc *scheduler) pop() (*session, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for len(sc.q) == 0 && !sc.closed {
+		sc.cond.Wait()
+	}
+	if len(sc.q) == 0 {
+		return nil, false
+	}
+	sess := sc.q[0]
+	sc.q = sc.q[1:]
+	return sess, true
+}
+
+func (sc *scheduler) close() {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.mu.Unlock()
+	sc.cond.Broadcast()
+}

@@ -114,7 +114,7 @@ func (k *Kernel) ActiveTokens(layer int) []int {
 }
 
 // Attend implements model.Kernel.
-func (k *Kernel) Attend(out, q []float32, keys, vals *tensor.Mat, n int, scale, slope float32, layer, head int) {
+func (k *Kernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
 	k.syncContext(n)
 	if head == 0 {
@@ -214,7 +214,7 @@ func (k *Kernel) rebuildActive(layer, n int) {
 }
 
 // rowScale computes the shared quantization scale over the given rows.
-func (k *Kernel) rowScale(m *tensor.Mat, rows []int, dim int) float64 {
+func (k *Kernel) rowScale(m tensor.RowSource, rows []int, dim int) float64 {
 	var maxMag float32
 	for _, r := range rows {
 		if v := tensor.MaxAbs(m.Row(r)[:dim]); v > maxMag {

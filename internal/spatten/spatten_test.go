@@ -43,9 +43,9 @@ func TestPersistentPruningShrinksActiveSet(t *testing.T) {
 	k := New(testConfig(0.5, false))
 	dec := model.NewDecoder(r.Params, k)
 	prompt := r.Held[:64]
-	dec.Prompt(prompt)
+	dec.MustPrompt(prompt)
 	for i := 0; i < 10; i++ {
-		dec.Step(r.Held[64+i])
+		dec.MustStep(r.Held[64+i])
 	}
 	active := k.ActiveTokens(r.Params.Cfg.Layers - 1)
 	// After several 0.5-keep steps the active set must be far below context.
@@ -71,9 +71,9 @@ func TestCascadeVsEndOfStep(t *testing.T) {
 	run := func(cascade bool) int64 {
 		k := New(testConfig(0.4, cascade))
 		dec := model.NewDecoder(r.Params, k)
-		dec.Prompt(r.Held[:96])
+		dec.MustPrompt(r.Held[:96])
 		for i := 0; i < 8; i++ {
-			dec.Step(r.Held[96+i])
+			dec.MustStep(r.Held[96+i])
 		}
 		return k.Stats().KBytes
 	}
@@ -86,9 +86,9 @@ func TestTrafficBelowBaseline(t *testing.T) {
 	r := train.TestModel()
 	k := New(testConfig(0.3, true))
 	dec := model.NewDecoder(r.Params, k)
-	dec.Prompt(r.Held[:128])
+	dec.MustPrompt(r.Held[:128])
 	for i := 0; i < 16; i++ {
-		dec.Step(r.Held[128+i])
+		dec.MustStep(r.Held[128+i])
 	}
 	st := k.Stats()
 	if st.KBytes >= st.BaselineKBytes || st.VBytes >= st.BaselineVBytes {
@@ -109,11 +109,11 @@ func TestKeepRatioOneIsLossless(t *testing.T) {
 	decP := model.NewDecoder(r.Params, k)
 	decE := model.NewDecoder(r.Params, nil)
 	toks := r.Held[:48]
-	decP.Prompt(toks)
-	decE.Prompt(toks)
+	decP.MustPrompt(toks)
+	decE.MustPrompt(toks)
 	for i := 0; i < 12; i++ {
-		lp := decP.Step(r.Held[48+i])
-		le := decE.Step(r.Held[48+i])
+		lp := decP.MustStep(r.Held[48+i])
+		le := decE.MustStep(r.Held[48+i])
 		for v := range lp {
 			if math.Abs(float64(lp[v]-le[v])) > 0.2 {
 				t.Fatalf("step %d vocab %d: pruned %g vs exact %g", i, v, lp[v], le[v])
@@ -150,9 +150,9 @@ func TestMinKeepFloor(t *testing.T) {
 	cfg.MinKeep = 6
 	k := New(cfg)
 	dec := model.NewDecoder(r.Params, k)
-	dec.Prompt(r.Held[:64])
+	dec.MustPrompt(r.Held[:64])
 	for i := 0; i < 6; i++ {
-		dec.Step(r.Held[64+i])
+		dec.MustStep(r.Held[64+i])
 	}
 	if len(k.ActiveTokens(r.Params.Cfg.Layers-1)) < 6 {
 		t.Fatalf("active set %d fell below MinKeep", len(k.ActiveTokens(r.Params.Cfg.Layers-1)))

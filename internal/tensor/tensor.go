@@ -11,6 +11,14 @@ import (
 	"math/rand"
 )
 
+// RowSource is a row-indexed view of a matrix: anything that can hand out
+// rows of float32. Mat is the dense implementation; the serving engine's
+// block-paged KV cache is a non-contiguous one. Attention kernels read K/V
+// through this interface so both storage layouts share one code path.
+type RowSource interface {
+	Row(r int) []float32
+}
+
 // Mat is a dense row-major matrix.
 type Mat struct {
 	Rows, Cols int

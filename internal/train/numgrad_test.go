@@ -153,7 +153,7 @@ func TestDecoderMatchesTrainingForward(t *testing.T) {
 
 	dec := model.NewDecoder(params, nil)
 	for t2, tok := range tokens {
-		logits := dec.Step(tok)
+		logits := dec.MustStep(tok)
 		for v := 0; v < cfg.VocabSize; v++ {
 			want := acts.logits.At(t2, v)
 			if t2 == len(tokens)-1 {

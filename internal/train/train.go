@@ -102,11 +102,11 @@ func Perplexity(params *model.Params, tokens []int, kernel model.Kernel, warm in
 		panic("train: not enough tokens for perplexity eval")
 	}
 	dec := model.NewDecoder(params, kernel)
-	dec.Prompt(tokens[:warm])
+	dec.MustPrompt(tokens[:warm])
 	var nll float64
 	n := 0
 	for t := warm; t+1 < len(tokens); t++ {
-		logits := dec.Step(tokens[t])
+		logits := dec.MustStep(tokens[t])
 		nll += nllOf(logits, tokens[t+1])
 		n++
 	}

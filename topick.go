@@ -12,7 +12,12 @@
 //   - the ToPick cycle-level accelerator simulator with its HBM2 memory
 //     model, plus the baseline and SpAtten-style comparison points;
 //   - the experiment harness that regenerates every figure and table of the
-//     paper's evaluation section.
+//     paper's evaluation section;
+//   - a continuous-batching serving engine that time-slices many concurrent
+//     generation sessions across a worker pool, pages their KV caches
+//     through a shared block pool, and aggregates pruning statistics
+//     fleet-wide — the multi-tenant regime the paper's memory-bound
+//     analysis targets.
 //
 // Quick start:
 //
@@ -20,10 +25,23 @@
 //	kernel := tokenpicker.NewKernel(1e-3) // prune tokens with p'' <= 0.1%
 //	dec := tokenpicker.NewDecoder(res.Params, kernel)
 //	dec.Prompt(res.Held[:64])
-//	logits := dec.Step(res.Held[64])
-//	_ = logits
+//	logits, err := dec.Step(res.Held[64])
+//	_, _ = logits, err // err is ErrContextFull once the window is spent
 //	stats := kernel.Stats()
 //	fmt.Printf("V pruning ratio: %.1fx\n", stats.PruningRatio())
+//
+// Serving:
+//
+//	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
+//		Workers:   4,
+//		NewKernel: func() tokenpicker.Kernel { return tokenpicker.NewKernel(1e-3) },
+//	})
+//	st, _ := srv.Submit(ctx, tokenpicker.ServeRequest{Prompt: res.Held[:64]})
+//	for tok := range st.Tokens {
+//		fmt.Println(tok)
+//	}
+//	srv.Close()
+//	fmt.Printf("fleet pruning: %.1fx\n", srv.Report().Attn.PruningRatio())
 package tokenpicker
 
 import (
@@ -32,6 +50,7 @@ import (
 	"tokenpicker/internal/core"
 	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/model"
+	"tokenpicker/internal/serve"
 	"tokenpicker/internal/sim/arch"
 	"tokenpicker/internal/spatten"
 	"tokenpicker/internal/train"
@@ -78,6 +97,44 @@ type (
 	// SpAttenConfig parameterizes the cascade-pruning baseline.
 	SpAttenConfig = spatten.Config
 )
+
+// Serving engine types.
+type (
+	// Server is the continuous-batching inference engine.
+	Server = serve.Server
+	// ServeConfig sizes a Server (workers, quantum, pool geometry).
+	ServeConfig = serve.Config
+	// ServeRequest is one generation job.
+	ServeRequest = serve.Request
+	// ServeStream delivers a session's tokens and terminal result.
+	ServeStream = serve.Stream
+	// ServeResult is a session's terminal state.
+	ServeResult = serve.Result
+	// ServeReport is the fleet-wide statistics snapshot.
+	ServeReport = serve.Report
+	// FinishReason tells why a session stopped.
+	FinishReason = serve.FinishReason
+	// KVPool is the block-paged KV-cache allocator behind a Server.
+	KVPool = serve.Pool
+	// KVPoolStats is a pool accounting snapshot.
+	KVPoolStats = serve.PoolStats
+	// KVCache is the decoder's per-(layer, head) cache abstraction.
+	KVCache = model.KVCache
+	// CacheProvider allocates KV caches for a decoder session.
+	CacheProvider = model.CacheProvider
+)
+
+// Session finish reasons.
+const (
+	FinishLength      = serve.ReasonLength
+	FinishContextFull = serve.ReasonContextFull
+	FinishCanceled    = serve.ReasonCanceled
+	FinishRejected    = serve.ReasonRejected
+)
+
+// ErrContextFull is returned by Decoder.Step/Prompt when the context window
+// is exhausted; the serving engine finishes such sessions gracefully.
+var ErrContextFull = model.ErrContextFull
 
 // Hardware simulation types.
 type (
@@ -126,6 +183,23 @@ func NewSpAttenKernel(cfg SpAttenConfig) Kernel { return spatten.New(cfg) }
 
 // NewDecoder wraps model.NewDecoder.
 func NewDecoder(p *Params, k Kernel) *Decoder { return model.NewDecoder(p, k) }
+
+// NewDecoderWith builds a decoder whose KV caches come from the given
+// provider (e.g. a KVPool's Provider); nil means on-demand dense buffers.
+func NewDecoderWith(p *Params, k Kernel, prov CacheProvider) *Decoder {
+	return model.NewDecoderWith(p, k, prov)
+}
+
+// NewServer starts the continuous-batching engine over trained params.
+// Close it to drain in-flight sessions and stop the workers.
+func NewServer(p *Params, cfg ServeConfig) *Server { return serve.NewServer(p, cfg) }
+
+// NewKVPool builds a standalone block-paged KV allocator (blockRows rows of
+// headDim floats per block; maxBlocks 0 = unbounded) whose Provider plugs
+// into NewDecoderWith.
+func NewKVPool(blockRows, headDim, maxBlocks int) *KVPool {
+	return serve.NewPool(blockRows, headDim, maxBlocks)
+}
 
 // NewAccelSim builds the cycle-level simulator in the given mode and
 // pruning threshold with the paper's hardware configuration (Table 1).
