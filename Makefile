@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test test-full bench serve-demo clean
+.PHONY: all vet build test test-full check bench bench-go serve-demo clean
 
 all: vet build test
 
@@ -18,7 +18,22 @@ test:
 test-full:
 	$(GO) test -race ./...
 
+# Focused gate for the incremental quantized-KV cache: vet, build, the
+# cache/kernel/serving tests under the race detector, then the steady-state
+# allocation guard without -race (race instrumentation skews alloc counts,
+# so the guard skips itself there).
+check: vet build
+	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/serve/ ./internal/bench/
+	TOPICK_QUICK=1 $(GO) test -count=1 -run TestAttendSteadyStateZeroAllocs ./internal/bench/
+
+# Measured decode-step trajectory: writes BENCH_decode.json (ns/token,
+# tokens/s, allocs/op per kernel/context/mode) for future PRs to regress
+# against.
 bench:
+	$(GO) run ./cmd/topick-bench -out BENCH_decode.json
+
+# One-shot smoke run of every Go benchmark.
+bench-go:
 	TOPICK_QUICK=1 $(GO) test -run xxx -bench . -benchtime 1x ./...
 
 serve-demo:

@@ -1,0 +1,103 @@
+// Command topick-bench measures the decode-step hot path and persists the
+// results as the repo's performance trajectory. It runs the same benchmark
+// bodies as `go test -bench BenchmarkDecodeStep` through testing.Benchmark,
+// compares the incremental quantized-KV cache against the from-scratch
+// baseline, and writes a JSON record future PRs regress against:
+//
+//	make bench            # writes BENCH_decode.json at the repo root
+//	go run ./cmd/topick-bench -contexts 128,512,1024 -out my.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tokenpicker/internal/bench"
+)
+
+type report struct {
+	Note      string                   `json:"note"`
+	Unit      string                   `json:"unit"`
+	Timestamp string                   `json:"timestamp"`
+	Results   []bench.DecodeStepResult `json:"results"`
+	// Speedup maps "kernel/ctx=N" to scratch-ns / incremental-ns for the
+	// quantizing kernels: the measured win of the incremental cache.
+	Speedup map[string]float64 `json:"speedup_incremental_vs_scratch"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_decode.json", "output JSON path")
+	contexts := flag.String("contexts", "128,512", "comma-separated context lengths")
+	flag.Parse()
+
+	var ctxs []int
+	for _, f := range strings.Split(*contexts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "topick-bench: bad context %q\n", f)
+			os.Exit(2)
+		}
+		ctxs = append(ctxs, n)
+	}
+
+	rep := report{
+		Note: "decode-step hot path: one generation step through the full decoder " +
+			"(attention + FFN) per kernel; scratch mode re-quantizes the whole KV " +
+			"cache every Attend (the pre-incremental behaviour of the attention " +
+			"kernels; an upper bound on it for spatten, which used to quantize " +
+			"only surviving rows), incremental mode uses the cache-owned side-car",
+		Unit:      "ns per generated token",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Speedup:   map[string]float64{},
+	}
+	scratchNs := map[string]float64{}
+	for _, kernel := range bench.DecodeKernels() {
+		for _, ctx := range ctxs {
+			modes := []bool{false}
+			for _, quant := range bench.QuantizedDecodeKernels() {
+				if quant == kernel {
+					modes = append(modes, true)
+				}
+			}
+			for _, scratch := range modes {
+				r := bench.RunDecodeStep(kernel, ctx, scratch)
+				rep.Results = append(rep.Results, r)
+				fmt.Printf("%-16s ctx=%-5d %-11s %12.0f ns/tok %10.0f tok/s %4d allocs/op\n",
+					r.Kernel, r.Context, r.Mode, r.NsPerToken, r.TokensPerSec, r.AllocsPerOp)
+				if scratch {
+					scratchNs[fmt.Sprintf("%s/ctx=%d", kernel, ctx)] = r.NsPerToken
+				}
+			}
+		}
+	}
+	// Scratch runs after incremental within a combo; fill speedups now.
+	for _, r := range rep.Results {
+		if r.Mode != "incremental" {
+			continue
+		}
+		key := fmt.Sprintf("%s/ctx=%d", r.Kernel, r.Context)
+		if s, ok := scratchNs[key]; ok {
+			rep.Speedup[key] = s / r.NsPerToken
+		}
+	}
+	for key, s := range rep.Speedup {
+		fmt.Printf("speedup %-28s %.2fx\n", key, s)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topick-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "topick-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+}

@@ -71,59 +71,48 @@ func (s *Stats) TotalReduction() float64 {
 	return float64(s.BaselineKBytes+s.BaselineVBytes) / float64(moved)
 }
 
-// quantScratch reusably quantizes a query and the rows of the K/V caches
-// with shared per-call scales.
+// quantScratch holds the per-kernel quantization state shared by every
+// kernel in this package: a quantized-query buffer and two fallback
+// QuantCaches for row sources that do not carry their own side-car. When the
+// source implements fixed.CacheQuantizer (the decoder's dense cache and the
+// serving engine's paged cache both do), SyncFor routes to the source-owned
+// side-car instead and quantization is incremental — O(added rows) per
+// decode step rather than O(context).
 type quantScratch struct {
-	kRows  []fixed.Vector
-	kBack  []int16
-	vRows  []fixed.Vector
-	vBack  []int16
+	qk, qv fixed.QuantCache
+	qq     fixed.Vector
 	bias   []float32
-	probsF []float64
 }
 
-func (qs *quantScratch) ensure(n, dim int) {
-	if cap(qs.kBack) < n*dim {
-		qs.kBack = make([]int16, n*dim)
-		qs.vBack = make([]int16, n*dim)
-		qs.kRows = make([]fixed.Vector, n)
-		qs.vRows = make([]fixed.Vector, n)
-		qs.bias = make([]float32, n)
-		qs.probsF = make([]float64, n)
-	}
-	qs.kRows = qs.kRows[:n]
-	qs.vRows = qs.vRows[:n]
-	qs.bias = qs.bias[:n]
-	qs.probsF = qs.probsF[:n]
+// query quantizes q reusing the kernel-owned buffer.
+func (qs *quantScratch) query(q []float32, bits uint) fixed.Quantized {
+	out := fixed.QuantizeInto(qs.qq, q, bits)
+	qs.qq = out.Data
+	return out
 }
 
-// quantizeCache quantizes rows [0,n) of m (dim columns) into rows/back with
-// a shared symmetric scale, returning the scale.
-func quantizeCache(rows []fixed.Vector, back []int16, m tensor.RowSource, n, dim int, bits uint) float64 {
-	var maxMag float32
-	for i := 0; i < n; i++ {
-		if v := tensor.MaxAbs(m.Row(i)[:dim]); v > maxMag {
-			maxMag = v
-		}
+// keys and values fetch the shared-scale quantized rows of the K/V cache.
+func (qs *quantScratch) keys(src tensor.RowSource, n, dim int, bits uint) ([]fixed.Vector, float64) {
+	return qs.qk.SyncFor(src, n, dim, bits)
+}
+
+// chunkedKeys additionally returns the chunk-contribution planes for cs when
+// src carries a side-car. Bare sources get nil planes: building all planes
+// eagerly would do more bit work than the estimator's lazy per-surviving-
+// token extraction, so the win only exists when the planes persist across
+// calls.
+func (qs *quantScratch) chunkedKeys(src tensor.RowSource, n, dim int, cs fixed.ChunkSpec) ([]fixed.Vector, [][]int32, float64) {
+	if cq, ok := src.(fixed.CacheQuantizer); ok {
+		rows, planes, scale := cq.QuantCache().SyncChunked(src, n, dim, cs)
+		return rows, planes, scale
 	}
-	scale := fixed.ScaleFor(float64(maxMag), bits)
-	qmax := float64(int32(1)<<(bits-1) - 1)
-	for i := 0; i < n; i++ {
-		src := m.Row(i)[:dim]
-		dst := back[i*dim : (i+1)*dim]
-		for j, x := range src {
-			v := math.Round(float64(x) / scale)
-			if v > qmax {
-				v = qmax
-			}
-			if v < -qmax-1 {
-				v = -qmax - 1
-			}
-			dst[j] = int16(v)
-		}
-		rows[i] = dst
-	}
-	return scale
+	qs.qk.Invalidate()
+	rows, scale := qs.qk.Sync(src, n, dim, cs.TotalBits)
+	return rows, nil, scale
+}
+
+func (qs *quantScratch) values(src tensor.RowSource, n, dim int, bits uint) ([]fixed.Vector, float64) {
+	return qs.qv.SyncFor(src, n, dim, bits)
 }
 
 // TokenPicker is the paper's kernel: probability-estimation pruning over
@@ -133,6 +122,7 @@ type TokenPicker struct {
 	Bits  uint // operand precision (12 in the paper)
 	stats Stats
 	qs    quantScratch
+	rep   core.Report
 }
 
 // NewTokenPicker builds the kernel at the given pruning threshold with the
@@ -155,18 +145,24 @@ func (k *TokenPicker) ResetStats() { k.stats = Stats{} }
 // Attend implements model.Kernel.
 func (k *TokenPicker) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
-	k.qs.ensure(n, dim)
-	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
-	qq := fixed.Quantize(q, k.Bits)
+	cspec := k.Est.Config().Chunks
+	kRows, kPlanes, kScale := k.qs.chunkedKeys(keys, n, dim, cspec)
+	qq := k.qs.query(q, k.Bits)
+	if cap(k.qs.bias) < n {
+		k.qs.bias = make([]float32, n)
+	}
+	k.qs.bias = k.qs.bias[:n]
 	for i := 0; i < n; i++ {
 		k.qs.bias[i] = -slope * float32(n-1-i)
 	}
-	rep := k.Est.Run(core.Inputs{
-		Q:      qq,
-		K:      k.qs.kRows,
-		KScale: kScale,
-		Scale:  float64(scale),
-		Bias:   k.qs.bias,
+	rep := &k.rep
+	k.Est.RunInto(rep, core.Inputs{
+		Q:       qq,
+		K:       kRows,
+		KPlanes: kPlanes,
+		KScale:  kScale,
+		Scale:   float64(scale),
+		Bias:    k.qs.bias,
 	})
 
 	cs := k.Est.Config().Chunks
@@ -190,14 +186,18 @@ func (k *TokenPicker) Attend(out, q []float32, keys, vals tensor.RowSource, n in
 	if len(rep.Kept) == 0 {
 		// Degenerate instance (can only happen at extreme thresholds):
 		// fall back to attending the newest token so the output is defined.
+		// That fallback still moves one value vector off-chip, so it counts
+		// toward Kept and VBytes like any kept token.
 		copy(out, vals.Row(n - 1)[:dim])
+		k.stats.Kept++
+		k.stats.VBytes += int64(cs.VectorBytes(dim))
 		return
 	}
 	// Weighted sum over kept tokens with quantized values.
-	vScale := quantizeCache(k.qs.vRows, k.qs.vBack, vals, n, dim, k.Bits)
+	vRows, vScale := k.qs.values(vals, n, dim, k.Bits)
 	for _, i := range rep.Kept {
 		p := float32(rep.Prob(i))
-		vRow := k.qs.vRows[i]
+		vRow := vRows[i]
 		for j := 0; j < dim; j++ {
 			out[j] += p * float32(vScale*float64(vRow[j]))
 		}
@@ -227,19 +227,18 @@ func (k *QuantizedExact) ResetStats() { k.stats = Stats{} }
 // Attend implements model.Kernel.
 func (k *QuantizedExact) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
-	k.qs.ensure(n, dim)
 	if cap(k.scores) < n {
 		k.scores = make([]float32, n)
 		k.probs = make([]float32, n)
 	}
 	scores := k.scores[:n]
 	probs := k.probs[:n]
-	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
-	vScale := quantizeCache(k.qs.vRows, k.qs.vBack, vals, n, dim, k.Bits)
-	qq := fixed.Quantize(q, k.Bits)
+	kRows, kScale := k.qs.keys(keys, n, dim, k.Bits)
+	vRows, vScale := k.qs.values(vals, n, dim, k.Bits)
+	qq := k.qs.query(q, k.Bits)
 	c := float64(scale) * qq.Scale * kScale
 	for i := 0; i < n; i++ {
-		scores[i] = float32(c*float64(fixed.Dot(qq.Data, k.qs.kRows[i]))) - slope*float32(n-1-i)
+		scores[i] = float32(c*float64(fixed.Dot(qq.Data, kRows[i]))) - slope*float32(n-1-i)
 	}
 	tensor.Softmax(probs, scores)
 	for j := range out {
@@ -247,7 +246,7 @@ func (k *QuantizedExact) Attend(out, q []float32, keys, vals tensor.RowSource, n
 	}
 	for i := 0; i < n; i++ {
 		p := probs[i]
-		vRow := k.qs.vRows[i]
+		vRow := vRows[i]
 		for j := 0; j < dim; j++ {
 			out[j] += p * float32(vScale*float64(vRow[j]))
 		}
@@ -273,6 +272,7 @@ type Oracle struct {
 	qs        quantScratch
 	scores    []float32
 	probs     []float32
+	keptIdx   []int
 }
 
 // NewOracle returns an oracle pruning kernel.
@@ -287,23 +287,22 @@ func (k *Oracle) ResetStats() { k.stats = Stats{} }
 // Attend implements model.Kernel.
 func (k *Oracle) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
 	dim := len(q)
-	k.qs.ensure(n, dim)
 	if cap(k.scores) < n {
 		k.scores = make([]float32, n)
 		k.probs = make([]float32, n)
 	}
 	scores := k.scores[:n]
 	probs := k.probs[:n]
-	kScale := quantizeCache(k.qs.kRows, k.qs.kBack, keys, n, dim, k.Bits)
-	vScale := quantizeCache(k.qs.vRows, k.qs.vBack, vals, n, dim, k.Bits)
-	qq := fixed.Quantize(q, k.Bits)
+	kRows, kScale := k.qs.keys(keys, n, dim, k.Bits)
+	vRows, vScale := k.qs.values(vals, n, dim, k.Bits)
+	qq := k.qs.query(q, k.Bits)
 	c := float64(scale) * qq.Scale * kScale
 	for i := 0; i < n; i++ {
-		scores[i] = float32(c*float64(fixed.Dot(qq.Data, k.qs.kRows[i]))) - slope*float32(n-1-i)
+		scores[i] = float32(c*float64(fixed.Dot(qq.Data, kRows[i]))) - slope*float32(n-1-i)
 	}
 	tensor.Softmax(probs, scores)
 
-	keptIdx := make([]int, 0, n)
+	keptIdx := k.keptIdx[:0]
 	var keptMass float64
 	for i := 0; i < n; i++ {
 		if float64(probs[i]) > k.Threshold {
@@ -317,12 +316,13 @@ func (k *Oracle) Attend(out, q []float32, keys, vals tensor.RowSource, n int, sc
 		keptIdx = append(keptIdx, best)
 		keptMass = float64(probs[best])
 	}
+	k.keptIdx = keptIdx
 	for j := range out {
 		out[j] = 0
 	}
 	for _, i := range keptIdx {
 		p := float32(float64(probs[i]) / keptMass)
-		vRow := k.qs.vRows[i]
+		vRow := vRows[i]
 		for j := 0; j < dim; j++ {
 			out[j] += p * float32(vScale*float64(vRow[j]))
 		}

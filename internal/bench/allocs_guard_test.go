@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/spatten"
+)
+
+// TestAttendSteadyStateZeroAllocs is the regression guard for the
+// incremental-quantization work: once warmed up, no kernel's Attend may
+// allocate when the context is stable. Any allocation here reintroduces
+// per-token garbage on the serving hot path, so the test fails hard rather
+// than reporting a benchmark delta someone has to notice.
+func TestAttendSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	cfg := model.TestConfig()
+	params := model.NewParams(cfg, 31)
+	dec := model.NewDecoder(params, nil) // exact prompt fills the KV caches
+	prompt := make([]int, 96)
+	for i := range prompt {
+		prompt[i] = (i * 13) % cfg.VocabSize
+	}
+	dec.MustPrompt(prompt)
+	keys, vals := dec.Cache(0, 0)
+	n := dec.Len()
+
+	rng := rand.New(rand.NewSource(33))
+	q := make([]float32, cfg.HeadDim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	out := make([]float32, cfg.HeadDim)
+	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
+	slope := cfg.AlibiSlope(0)
+
+	spCfg := spatten.Config{
+		KeepRatio: 0.5, MinKeep: 4,
+		Layers: cfg.Layers, Heads: cfg.Heads,
+		Cascade: true, Bits: 12,
+	}
+	kernels := []struct {
+		name string
+		k    model.Kernel
+	}{
+		{"exact", &model.ExactKernel{}},
+		{"quantized-exact", attention.NewQuantizedExact()},
+		{"token-picker", attention.NewTokenPicker(1e-3)},
+		{"oracle", attention.NewOracle(1e-3)},
+		{"spatten", spatten.New(spCfg)},
+	}
+	for _, tc := range kernels {
+		attend := func() {
+			tc.k.Attend(out, q, keys, vals, n, scale, slope, 0, 0)
+		}
+		for i := 0; i < 3; i++ {
+			attend() // warm up scratch and the quantized side-car
+		}
+		if allocs := testing.AllocsPerRun(100, attend); allocs != 0 {
+			t.Errorf("%s: steady-state Attend allocates %g times per call", tc.name, allocs)
+		}
+	}
+}

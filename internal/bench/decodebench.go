@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/spatten"
+	"tokenpicker/internal/tensor"
+)
+
+// This file is the measured-performance harness for the decode hot path. It
+// is importable (not _test.go) so cmd/topick-bench can run the exact same
+// benchmark bodies through testing.Benchmark and persist the results as the
+// repo's perf trajectory (BENCH_decode.json).
+
+// decodeBenchSpan is how many generation steps run between cache refills;
+// context length stays within [ctx, ctx+decodeBenchSpan] during timing.
+const decodeBenchSpan = 256
+
+// opaqueRows hides everything but Row, in particular the quantized side-car.
+type opaqueRows struct{ src tensor.RowSource }
+
+func (o opaqueRows) Row(r int) []float32 { return o.src.Row(r) }
+
+// scratchQuantKernel strips the side-car from the K/V sources before
+// delegating, forcing from-scratch O(context·dim) quantization on every
+// Attend — the pre-incremental behaviour of the attention kernels (for the
+// SpAtten kernel, an upper bound: it used to quantize surviving rows only),
+// kept runnable as the benchmark baseline and as the reference half of the
+// equivalence tests.
+type scratchQuantKernel struct{ inner model.Kernel }
+
+func (s scratchQuantKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
+	s.inner.Attend(out, q, opaqueRows{keys}, opaqueRows{vals}, n, scale, slope, layer, head)
+}
+
+// ScratchQuant wraps k so it cannot see cache-owned quantized side-cars.
+func ScratchQuant(k model.Kernel) model.Kernel { return scratchQuantKernel{inner: k} }
+
+// DecodeKernels lists the kernels the decode-step benchmark covers.
+func DecodeKernels() []string {
+	return []string{"exact", "quantized-exact", "token-picker", "oracle", "spatten"}
+}
+
+// QuantizedDecodeKernels lists the kernels whose Attend quantizes the KV
+// cache — the ones with distinct incremental and scratch modes.
+func QuantizedDecodeKernels() []string {
+	return []string{"quantized-exact", "token-picker", "oracle", "spatten"}
+}
+
+func decodeBenchConfig(ctx int) model.Config {
+	return model.Config{
+		Name:      "decode-bench",
+		VocabSize: 256,
+		Layers:    2,
+		Heads:     4,
+		HeadDim:   32,
+		FFNMult:   2,
+		MaxSeq:    ctx + decodeBenchSpan + 1,
+		Eps:       1e-5,
+	}
+}
+
+func newDecodeKernel(name string, cfg model.Config) model.Kernel {
+	switch name {
+	case "exact":
+		return &model.ExactKernel{}
+	case "quantized-exact":
+		return attention.NewQuantizedExact()
+	case "token-picker":
+		return attention.NewTokenPicker(1e-3)
+	case "oracle":
+		return attention.NewOracle(1e-3)
+	case "spatten":
+		return spatten.New(spatten.Config{
+			KeepRatio: 0.5, MinKeep: 4,
+			Layers: cfg.Layers, Heads: cfg.Heads,
+			Cascade: true, Bits: 12,
+		})
+	default:
+		panic(fmt.Sprintf("bench: unknown decode kernel %q", name))
+	}
+}
+
+// DecodeStepBench times generation-phase decode steps at a context of at
+// least ctx tokens. scratch selects the from-scratch quantization baseline.
+// The prompt refill when the window fills is excluded from the timing (and,
+// via StopTimer, from the allocation accounting).
+func DecodeStepBench(b *testing.B, kernel string, ctx int, scratch bool) {
+	cfg := decodeBenchConfig(ctx)
+	params := model.NewParams(cfg, 41)
+	prompt := make([]int, ctx)
+	for i := range prompt {
+		prompt[i] = (i*31 + 7) % cfg.VocabSize
+	}
+	mk := func() *model.Decoder {
+		k := newDecodeKernel(kernel, cfg)
+		if scratch {
+			k = ScratchQuant(k)
+		}
+		// Fresh kernel per refill: the SpAtten cascade accumulates
+		// per-sequence importance and must restart with its sequence.
+		dec := model.NewDecoder(params, k)
+		dec.MustPrompt(prompt)
+		return dec
+	}
+	dec := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dec.Len() >= cfg.MaxSeq {
+			b.StopTimer()
+			dec = mk()
+			b.StartTimer()
+		}
+		dec.MustStep((i*13 + 5) % cfg.VocabSize)
+	}
+}
+
+// DecodeStepResult is one row of the persisted perf trajectory.
+type DecodeStepResult struct {
+	Kernel       string  `json:"kernel"`
+	Context      int     `json:"context"`
+	Mode         string  `json:"mode"` // "incremental" or "scratch"
+	Iterations   int     `json:"iterations"`
+	NsPerToken   float64 `json:"ns_per_token"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// RunDecodeStep executes the decode-step benchmark standalone (outside `go
+// test`) and returns the measured row.
+func RunDecodeStep(kernel string, ctx int, scratch bool) DecodeStepResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		DecodeStepBench(b, kernel, ctx, scratch)
+	})
+	mode := "incremental"
+	if scratch {
+		mode = "scratch"
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return DecodeStepResult{
+		Kernel:       kernel,
+		Context:      ctx,
+		Mode:         mode,
+		Iterations:   r.N,
+		NsPerToken:   ns,
+		TokensPerSec: 1e9 / ns,
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}
+}

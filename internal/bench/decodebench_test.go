@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDecodeStep measures one generation step per kernel at short and
+// long contexts, in both quantization modes. `make bench` persists the same
+// measurements as BENCH_decode.json via cmd/topick-bench; this entry point
+// exists so plain `go test -bench DecodeStep` works too.
+func BenchmarkDecodeStep(b *testing.B) {
+	for _, kernel := range DecodeKernels() {
+		for _, ctx := range []int{128, 512} {
+			b.Run(fmt.Sprintf("%s/ctx=%d/incremental", kernel, ctx), func(b *testing.B) {
+				DecodeStepBench(b, kernel, ctx, false)
+			})
+			if kernel == "exact" {
+				continue // no quantization: the modes are identical
+			}
+			b.Run(fmt.Sprintf("%s/ctx=%d/scratch", kernel, ctx), func(b *testing.B) {
+				DecodeStepBench(b, kernel, ctx, true)
+			})
+		}
+	}
+}

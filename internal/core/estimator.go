@@ -15,6 +15,12 @@ type Inputs struct {
 	K      []fixed.Vector  // n quantized key vectors
 	KScale float64         // shared key scale
 	Scale  float64         // score scale, typically 1/sqrt(headDim)
+	// KPlanes optionally carries precomputed chunk-contribution planes for
+	// K (fixed.QuantCache.SyncChunked layout: KPlanes[b][i*dim+j]). When
+	// set, per-chunk partial scores are flat integer multiply-adds instead
+	// of per-element bit extraction — numerically identical, far cheaper.
+	// nil falls back to on-the-fly extraction.
+	KPlanes [][]int32
 	// Bias is an optional additive score bias known before any K bits
 	// arrive (e.g. ALiBi recency bias); nil means zero. It shifts both
 	// interval ends equally so margins remain sound.
@@ -84,6 +90,7 @@ type Estimator struct {
 	order   []int
 	active  []int
 	next    []int
+	margins fixed.Margins
 }
 
 // NewEstimator validates cfg and returns an estimator.
@@ -109,31 +116,46 @@ func (e *Estimator) Config() Config { return e.cfg }
 // Run executes probability estimation over one instance and returns the
 // pruning report. The report is freshly allocated; scratch state is reused.
 func (e *Estimator) Run(in Inputs) *Report {
+	rep := &Report{}
+	e.RunInto(rep, in)
+	return rep
+}
+
+// RunInto is Run with a caller-owned report: rep's slices are resized in
+// place and reused across calls, so a kernel that keeps one report per
+// instance pays zero allocations in steady state. Previous report contents
+// are overwritten.
+func (e *Estimator) RunInto(rep *Report, in Inputs) {
 	n := len(in.K)
 	cs := e.cfg.Chunks
 	numChunks := cs.NumChunks()
-	rep := &Report{
-		N:             n,
-		PrunedAtChunk: make([]int8, n),
-		Scores:        make([]float64, n),
-		ChunkFetches:  make([]int64, numChunks),
+	rep.N = n
+	rep.Kept = rep.Kept[:0]
+	if cap(rep.PrunedAtChunk) < n {
+		rep.PrunedAtChunk = make([]int8, n)
+	}
+	rep.PrunedAtChunk = rep.PrunedAtChunk[:n]
+	if cap(rep.Scores) < n {
+		rep.Scores = make([]float64, n)
+	}
+	rep.Scores = rep.Scores[:n]
+	if cap(rep.ChunkFetches) < numChunks {
+		rep.ChunkFetches = make([]int64, numChunks)
+	}
+	rep.ChunkFetches = rep.ChunkFetches[:numChunks]
+	for b := range rep.ChunkFetches {
+		rep.ChunkFetches[b] = 0
 	}
 	if n == 0 {
 		rep.LogDenominator = math.Inf(-1)
-		return rep
+		return
 	}
 	if in.Bias != nil && len(in.Bias) != n {
 		panic(fmt.Sprintf("core: bias length %d != n %d", len(in.Bias), n))
 	}
-	margins := fixed.NewMargins(cs, in.Q.Data)
+	e.margins.Compute(cs, in.Q.Data)
 	// Integer score -> real score conversion factor.
 	c := in.Scale * in.Q.Scale * in.KScale
-	bias := func(i int) float64 {
-		if in.Bias == nil {
-			return 0
-		}
-		return float64(in.Bias[i])
-	}
 
 	e.ensureScratch(n)
 	for i := range e.partial {
@@ -145,9 +167,9 @@ func (e *Estimator) Run(in Inputs) *Report {
 	e.buildOrder(n, in.TrueScores)
 
 	if e.cfg.Schedule == ScheduleDepthFirst {
-		e.runDepthFirst(in, margins, c, bias, rep)
+		e.runDepthFirst(in, e.margins, c, rep)
 	} else {
-		e.runWave(in, margins, c, bias, rep)
+		e.runWave(in, e.margins, c, rep)
 	}
 
 	// Collect kept tokens in ascending index order and the denominator.
@@ -170,7 +192,6 @@ func (e *Estimator) Run(in Inputs) *Report {
 		}
 		rep.LogDenominator = math.Log(d)
 	}
-	return rep
 }
 
 func (e *Estimator) ensureScratch(n int) {
@@ -264,16 +285,41 @@ func (d *denom) shouldPrune(smax float64) bool {
 	return smax-math.Log(d.f) <= d.lnThr
 }
 
+// biasAt reads the optional additive score bias (nil means zero) without the
+// closure allocation a captured accessor would cost on the hot path.
+func biasAt(bias []float32, i int) float64 {
+	if bias == nil {
+		return 0
+	}
+	return float64(bias[i])
+}
+
 // processChunk advances token i by chunk b: updates the partial score and
 // denominator, then decides prune/keep. Returns true if the token was
 // pruned at this chunk.
+// chunkDotPlane is ChunkSpec.ChunkDot over a precomputed contribution plane:
+// identical accumulation order and values, no per-element bit extraction.
+func chunkDotPlane(q fixed.Vector, plane []int32, i int) int64 {
+	dim := len(q)
+	row := plane[i*dim : (i+1)*dim]
+	var acc int64
+	for j, qv := range q {
+		acc += int64(qv) * int64(row[j])
+	}
+	return acc
+}
+
 func (e *Estimator) processChunk(in Inputs, m fixed.Margins, c float64,
-	bias func(int) float64, rep *Report, d *denom, i, b int) bool {
+	rep *Report, d *denom, i, b int) bool {
 	cs := e.cfg.Chunks
-	e.partial[i] += cs.ChunkDot(in.Q.Data, in.K[i], b)
+	if in.KPlanes != nil {
+		e.partial[i] += chunkDotPlane(in.Q.Data, in.KPlanes[b], i)
+	} else {
+		e.partial[i] += cs.ChunkDot(in.Q.Data, in.K[i], b)
+	}
 	smin, smax := m.Interval(e.partial[i], b)
-	sminF := c*float64(smin) + bias(i)
-	smaxF := c*float64(smax) + bias(i)
+	sminF := c*float64(smin) + biasAt(in.Bias, i)
+	smaxF := c*float64(smax) + biasAt(in.Bias, i)
 
 	// Update this token's denominator contribution to the tightened bound.
 	if e.cfg.FixedPointExp {
@@ -308,15 +354,14 @@ func (e *Estimator) processChunk(in Inputs, m fixed.Margins, c float64,
 }
 
 // runWave processes chunk b of every surviving token before chunk b+1.
-func (e *Estimator) runWave(in Inputs, m fixed.Margins, c float64,
-	bias func(int) float64, rep *Report) {
-	d := &denom{fx: e.cfg.FixedPointExp, lnThr: math.Log(e.cfg.Threshold)}
+func (e *Estimator) runWave(in Inputs, m fixed.Margins, c float64, rep *Report) {
+	d := denom{fx: e.cfg.FixedPointExp, lnThr: math.Log(e.cfg.Threshold)}
 	e.active = append(e.active[:0], e.order...)
 	for b := 0; b < e.cfg.Chunks.NumChunks(); b++ {
 		rep.ChunkFetches[b] += int64(len(e.active))
 		e.next = e.next[:0]
 		for _, i := range e.active {
-			if !e.processChunk(in, m, c, bias, rep, d, i, b) {
+			if !e.processChunk(in, m, c, rep, &d, i, b) {
 				e.next = append(e.next, i)
 			}
 		}
@@ -325,14 +370,13 @@ func (e *Estimator) runWave(in Inputs, m fixed.Margins, c float64,
 }
 
 // runDepthFirst streams each token's chunks to completion before moving on.
-func (e *Estimator) runDepthFirst(in Inputs, m fixed.Margins, c float64,
-	bias func(int) float64, rep *Report) {
-	d := &denom{fx: e.cfg.FixedPointExp, lnThr: math.Log(e.cfg.Threshold)}
+func (e *Estimator) runDepthFirst(in Inputs, m fixed.Margins, c float64, rep *Report) {
+	d := denom{fx: e.cfg.FixedPointExp, lnThr: math.Log(e.cfg.Threshold)}
 	numChunks := e.cfg.Chunks.NumChunks()
 	for _, i := range e.order {
 		for b := 0; b < numChunks; b++ {
 			rep.ChunkFetches[b]++
-			if e.processChunk(in, m, c, bias, rep, d, i, b) {
+			if e.processChunk(in, m, c, rep, &d, i, b) {
 				break
 			}
 		}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/tensor"
+)
+
+// TestKPlanesMatchesChunkDot runs the estimator over the same instance with
+// and without precomputed chunk-contribution planes. Partial scores must be
+// computed identically, so every field of the two reports has to match
+// exactly — kept sets, prune chunks, scores, and denominator.
+func TestKPlanesMatchesChunkDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, schedule := range []Schedule{ScheduleWave, ScheduleDepthFirst} {
+		for trial := 0; trial < 10; trial++ {
+			const n, dim = 96, 16
+			m := tensor.NewMat(n, dim)
+			m.RandInit(rng, 1)
+			var qc fixed.QuantCache
+			cs := fixed.DefaultChunkSpec
+			kRows, planes, kScale := qc.SyncChunked(m, n, dim, cs)
+
+			qf := make([]float32, dim)
+			for i := range qf {
+				qf[i] = float32(rng.NormFloat64())
+			}
+			cfg := DefaultConfig(1e-3)
+			cfg.Schedule = schedule
+			est := MustNewEstimator(cfg)
+			base := Inputs{Q: fixed.Quantize(qf, 12), K: kRows, KScale: kScale, Scale: 0.25}
+
+			plain := est.Run(base)
+			withPlanes := base
+			withPlanes.KPlanes = planes
+			planed := est.Run(withPlanes)
+
+			if len(plain.Kept) != len(planed.Kept) {
+				t.Fatalf("schedule %v trial %d: kept %d vs %d", schedule, trial, len(plain.Kept), len(planed.Kept))
+			}
+			for i := range plain.Kept {
+				if plain.Kept[i] != planed.Kept[i] {
+					t.Fatalf("schedule %v trial %d: kept sets differ at %d", schedule, trial, i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if plain.PrunedAtChunk[i] != planed.PrunedAtChunk[i] {
+					t.Fatalf("schedule %v trial %d token %d: pruned at %d vs %d",
+						schedule, trial, i, plain.PrunedAtChunk[i], planed.PrunedAtChunk[i])
+				}
+			}
+			for _, i := range plain.Kept {
+				if plain.Scores[i] != planed.Scores[i] {
+					t.Fatalf("schedule %v trial %d token %d: score %g vs %g",
+						schedule, trial, i, plain.Scores[i], planed.Scores[i])
+				}
+			}
+			if plain.LogDenominator != planed.LogDenominator {
+				t.Fatalf("schedule %v trial %d: denominator %g vs %g",
+					schedule, trial, plain.LogDenominator, planed.LogDenominator)
+			}
+		}
+	}
+}

@@ -36,6 +36,15 @@ type Margins struct {
 //	Max_b = U_b * Σ_{q_i > 0} q_i
 //	Min_b = U_b * Σ_{q_i < 0} q_i
 func NewMargins(cs ChunkSpec, q Vector) Margins {
+	var m Margins
+	m.Compute(cs, q)
+	return m
+}
+
+// Compute fills m with the margin table for query q under spec cs, reusing
+// the Pairs storage when its capacity suffices. Estimator hot paths call this
+// once per attention instance, so it must not allocate in steady state.
+func (m *Margins) Compute(cs ChunkSpec, q Vector) {
 	if err := cs.Validate(); err != nil {
 		panic(err)
 	}
@@ -48,12 +57,16 @@ func NewMargins(cs ChunkSpec, q Vector) Margins {
 		}
 	}
 	n := cs.NumChunks()
-	pairs := make([]MarginPair, n)
+	if cap(m.Pairs) < n {
+		m.Pairs = make([]MarginPair, n)
+	}
+	m.Pairs = m.Pairs[:n]
 	for b := 0; b < n; b++ {
 		u := cs.UnknownAfter(b)
-		pairs[b] = MarginPair{Min: u * sumNeg, Max: u * sumPos}
+		m.Pairs[b] = MarginPair{Min: u * sumNeg, Max: u * sumPos}
 	}
-	return Margins{Spec: cs, Pairs: pairs, sumPos: sumPos, sumNeg: sumNeg}
+	m.Spec = cs
+	m.sumPos, m.sumNeg = sumPos, sumNeg
 }
 
 // Pair returns the margin pair for chunk index b.

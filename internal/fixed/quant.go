@@ -22,10 +22,38 @@ type Quantized struct {
 	Bits  uint
 }
 
+// QuantizeRowInto quantizes src into dst (which must have equal length) at a
+// caller-provided symmetric scale, rounding to nearest and saturating to the
+// representable range. This is the single quantization inner loop shared by
+// Quantize, QuantizeWithScale, and QuantCache so every code path rounds and
+// clamps bit-identically.
+func QuantizeRowInto(dst []int16, src []float32, scale float64, bits uint) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("fixed: quantize length mismatch %d vs %d", len(dst), len(src)))
+	}
+	qmax := float64(int32(1)<<(bits-1) - 1)
+	for i, x := range src {
+		v := math.Round(float64(x) / scale)
+		if v > qmax {
+			v = qmax
+		}
+		if v < -qmax-1 {
+			v = -qmax - 1
+		}
+		dst[i] = int16(v)
+	}
+}
+
 // Quantize symmetrically quantizes xs to signed integers of the given bit
 // width. The scale is chosen so the largest magnitude maps to the largest
 // representable value; a zero vector quantizes with scale 1 to all zeros.
 func Quantize(xs []float32, bits uint) Quantized {
+	return QuantizeInto(nil, xs, bits)
+}
+
+// QuantizeInto is Quantize reusing dst's storage when its capacity suffices;
+// decode hot paths pass their previous Data back in to stay allocation-free.
+func QuantizeInto(dst Vector, xs []float32, bits uint) Quantized {
 	if bits < 2 || bits > 15 {
 		panic(fmt.Sprintf("fixed: unsupported bit width %d", bits))
 	}
@@ -35,23 +63,16 @@ func Quantize(xs []float32, bits uint) Quantized {
 			maxMag = m
 		}
 	}
-	qmax := float64(int32(1)<<(bits-1) - 1)
 	scale := 1.0
 	if maxMag > 0 {
-		scale = maxMag / qmax
+		scale = maxMag / float64(int32(1)<<(bits-1)-1)
 	}
-	out := make(Vector, len(xs))
-	for i, x := range xs {
-		v := math.Round(float64(x) / scale)
-		if v > qmax {
-			v = qmax
-		}
-		if v < -qmax-1 {
-			v = -qmax - 1
-		}
-		out[i] = int16(v)
+	if cap(dst) < len(xs) {
+		dst = make(Vector, len(xs))
 	}
-	return Quantized{Data: out, Scale: scale, Bits: bits}
+	dst = dst[:len(xs)]
+	QuantizeRowInto(dst, xs, scale, bits)
+	return Quantized{Data: dst, Scale: scale, Bits: bits}
 }
 
 // QuantizeWithScale quantizes xs using a caller-provided scale (e.g. a
@@ -64,18 +85,8 @@ func QuantizeWithScale(xs []float32, bits uint, scale float64) Quantized {
 	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		panic(fmt.Sprintf("fixed: invalid scale %v", scale))
 	}
-	qmax := float64(int32(1)<<(bits-1) - 1)
 	out := make(Vector, len(xs))
-	for i, x := range xs {
-		v := math.Round(float64(x) / scale)
-		if v > qmax {
-			v = qmax
-		}
-		if v < -qmax-1 {
-			v = -qmax - 1
-		}
-		out[i] = int16(v)
-	}
+	QuantizeRowInto(out, xs, scale, bits)
 	return Quantized{Data: out, Scale: scale, Bits: bits}
 }
 

@@ -1,0 +1,205 @@
+package fixed
+
+import (
+	"tokenpicker/internal/tensor"
+)
+
+// CacheQuantizer is implemented by KV-cache row sources that carry their own
+// quantized side-car. Attention kernels probe for it: when the source owns a
+// QuantCache, quantization is incremental across Attend calls (rows appended
+// since the last call are the only new work), and the memo survives worker
+// hand-offs in the serving engine because it lives with the session's cache,
+// not with the kernel. The owner must call Invalidate (or Release) whenever
+// row contents change other than by appending — Truncate, block recycling,
+// overwriting — so the side-car never serves stale rows.
+type CacheQuantizer interface {
+	QuantCache() *QuantCache
+}
+
+// QuantCache memoizes the shared-scale symmetric quantization of an
+// append-only row source. KV-cache rows are immutable once written and the
+// shared scale depends only on the running maximum magnitude, so each Sync
+// quantizes only the rows appended since the previous call — O(added·dim) —
+// and re-quantizes everything only on the rare scale-epoch bump when a new
+// row raises the running max. The from-scratch path quantizes the same rows
+// at the same scale with the same rounding, so incremental and scratch
+// results are bit-identical (the invariant the equivalence tests assert).
+//
+// A QuantCache is not goroutine-safe; it inherits the synchronization of the
+// cache or kernel that owns it.
+type QuantCache struct {
+	bits   uint
+	dim    int
+	n      int     // rows memoized
+	maxMag float32 // running max |row element| over memoized rows
+	scale  float64 // 0 = invalid, forces a full rebuild on next Sync
+	epochs int64   // full (re)quantization passes, for tests/diagnostics
+	back   []int16
+	rows   []Vector
+
+	// Chunk-contribution planes (SyncChunked): planes[b][i*dim+j] is the
+	// additive contribution of chunk b of element j of row i, so the
+	// estimator's per-chunk partial dot is a flat int32 multiply-add
+	// instead of per-element bit extraction. Derived from rows, maintained
+	// with the same incremental discipline. planeEpoch records which scale
+	// epoch the planes were built under: quantized rows only ever change by
+	// appending or by an epoch bump, so an epoch mismatch (possibly caused
+	// by a plain Sync from another kernel sharing this side-car) is exactly
+	// the condition for a full plane rebuild.
+	cspec      ChunkSpec
+	planes     [][]int32
+	planeN     int   // rows with planes built
+	planeEpoch int64 // qc.epochs the planes correspond to
+}
+
+// Invalidate discards the memo but keeps the storage. The next Sync
+// re-quantizes from scratch.
+func (qc *QuantCache) Invalidate() {
+	qc.n = 0
+	qc.maxMag = 0
+	qc.scale = 0
+	qc.planeN = 0
+}
+
+// Release discards the memo and its storage (cache teardown).
+func (qc *QuantCache) Release() {
+	qc.Invalidate()
+	qc.back = nil
+	qc.rows = nil
+	qc.planes = nil
+}
+
+// Len returns the number of memoized rows.
+func (qc *QuantCache) Len() int { return qc.n }
+
+// Epochs returns how many full quantization passes have run — the initial
+// fill plus one per scale bump or invalidation. Tests use it to prove the
+// incremental path is actually incremental.
+func (qc *QuantCache) Epochs() int64 { return qc.epochs }
+
+// Scale returns the current shared scale (0 when the memo is empty/invalid).
+func (qc *QuantCache) Scale() float64 { return qc.scale }
+
+// Sync brings the memo up to rows [0, n) of src (dim columns each) at the
+// given bit width and returns the quantized rows plus the shared scale. Rows
+// [0, qc.Len()) must be unchanged in src since the previous Sync; a shrink of
+// n, a change of dim or bits, or an explicit Invalidate trigger a full
+// rebuild.
+func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vector, float64) {
+	if bits != qc.bits || dim != qc.dim {
+		qc.bits, qc.dim = bits, dim
+		qc.rows = qc.rows[:0] // row headers carry the old dim stride
+		qc.Invalidate()
+	}
+	if n < qc.n {
+		qc.Invalidate()
+	}
+	if n == 0 {
+		return qc.rows[:0], 1
+	}
+	if cap(qc.back) < n*dim {
+		c := cap(qc.back)
+		if c < 64*dim {
+			c = 64 * dim
+		}
+		for c < n*dim {
+			c *= 2
+		}
+		grown := make([]int16, c)
+		copy(grown, qc.back[:qc.n*dim])
+		qc.back = grown
+		// Row headers point into the old backing array; re-point them all.
+		qc.rows = qc.rows[:0]
+	}
+	qc.back = qc.back[:cap(qc.back)]
+	for len(qc.rows) < n {
+		i := len(qc.rows)
+		qc.rows = append(qc.rows, qc.back[i*dim:(i+1)*dim])
+	}
+
+	start := qc.n
+	newMax := qc.maxMag
+	for i := start; i < n; i++ {
+		if v := tensor.MaxAbs(src.Row(i)[:dim]); v > newMax {
+			newMax = v
+		}
+	}
+	if newMax > qc.maxMag || qc.scale == 0 {
+		// Scale epoch bump: the shared scale changes, so every memoized row
+		// must be re-quantized. The running max grows monotonically, so this
+		// happens O(log n)-ish times over a generation, not per step.
+		qc.maxMag = newMax
+		qc.scale = ScaleFor(float64(newMax), bits)
+		qc.epochs++
+		start = 0
+	}
+	for i := start; i < n; i++ {
+		QuantizeRowInto(qc.rows[i], src.Row(i)[:dim], qc.scale, bits)
+	}
+	qc.n = n
+	return qc.rows[:n], qc.scale
+}
+
+// SyncChunked is Sync at cs.TotalBits that additionally maintains the
+// chunk-contribution planes for spec cs. planes[b] holds n*dim int32s;
+// summing planes[0..NumChunks)[i*dim+j] reconstructs row i element j, and
+// dot(q, planes[b] row i) equals ChunkSpec.ChunkDot(q, row i, b) exactly.
+func (qc *QuantCache) SyncChunked(src tensor.RowSource, n, dim int, cs ChunkSpec) ([]Vector, [][]int32, float64) {
+	rows, scale := qc.Sync(src, n, dim, cs.TotalBits)
+	if cs != qc.cspec {
+		qc.cspec = cs
+		qc.planeN = 0
+	}
+	if qc.epochs != qc.planeEpoch {
+		qc.planeN = 0
+		qc.planeEpoch = qc.epochs
+	}
+	nc := cs.NumChunks()
+	if len(qc.planes) != nc {
+		qc.planes = make([][]int32, nc)
+		qc.planeN = 0
+	}
+	if n == 0 {
+		return rows, qc.planes, scale
+	}
+	if cap(qc.planes[0]) < n*dim {
+		c := cap(qc.planes[0])
+		if c < 64*dim {
+			c = 64 * dim
+		}
+		for c < n*dim {
+			c *= 2
+		}
+		for b := range qc.planes {
+			grown := make([]int32, c)
+			copy(grown, qc.planes[b])
+			qc.planes[b] = grown
+		}
+	}
+	for b := range qc.planes {
+		qc.planes[b] = qc.planes[b][:cap(qc.planes[b])]
+	}
+	for i := qc.planeN; i < n; i++ {
+		row := qc.rows[i]
+		for b := 0; b < nc; b++ {
+			pb := qc.planes[b][i*dim : (i+1)*dim]
+			for j, v := range row {
+				pb[j] = int32(cs.ChunkContribution(cs.Extract(v, b), b))
+			}
+		}
+	}
+	qc.planeN = n
+	return rows, qc.planes, scale
+}
+
+// SyncFor returns quantized rows for src: through src's own side-car when it
+// carries one (incremental), otherwise from scratch into qc. The fallback
+// must rebuild every call because an arbitrary RowSource gives no guarantee
+// its rows are unchanged between calls.
+func (qc *QuantCache) SyncFor(src tensor.RowSource, n, dim int, bits uint) ([]Vector, float64) {
+	if cq, ok := src.(CacheQuantizer); ok {
+		return cq.QuantCache().Sync(src, n, dim, bits)
+	}
+	qc.Invalidate()
+	return qc.Sync(src, n, dim, bits)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/tensor"
 )
 
@@ -88,12 +89,15 @@ type CacheProvider interface {
 
 // denseCache is the default KVCache: a dense buffer that starts small and
 // doubles up to maxSeq rows, so short sessions never pay for the full
-// context window.
+// context window. It carries a quantized side-car (fixed.CacheQuantizer) so
+// quantizing attention kernels pay only for rows appended since their last
+// call instead of re-quantizing the whole context every decode step.
 type denseCache struct {
 	data    []float32
 	rows    int
 	headDim int
 	maxSeq  int
+	qc      fixed.QuantCache
 }
 
 // denseInitRows is the initial row capacity of a dense cache.
@@ -127,9 +131,18 @@ func (c *denseCache) EnsureLen(n int) error {
 	return nil
 }
 
-func (c *denseCache) Truncate() {}
+// QuantCache implements fixed.CacheQuantizer: rows [0, n) are immutable
+// between Truncate calls, which is exactly the append-only contract the
+// side-car memo needs.
+func (c *denseCache) QuantCache() *fixed.QuantCache { return &c.qc }
 
-func (c *denseCache) Release() { c.data = nil; c.rows = 0 }
+func (c *denseCache) Truncate() { c.qc.Invalidate() }
+
+func (c *denseCache) Release() {
+	c.data = nil
+	c.rows = 0
+	c.qc.Release()
+}
 
 // denseProvider is the default CacheProvider.
 type denseProvider struct{}

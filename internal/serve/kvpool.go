@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/model"
 )
 
@@ -128,11 +129,21 @@ func (pp poolProvider) NewKVCache(maxSeq, headDim int) model.KVCache {
 // pagedCache implements model.KVCache over leased pool blocks. Row i lives
 // in block i/BlockRows; blocks are leased on first touch and returned by
 // Truncate/Release. Not goroutine-safe, like the decoder that owns it.
+//
+// The quantized side-car rides with the cache, not the worker kernel, so a
+// session keeps its incremental quantization memo as the scheduler hands it
+// to different workers, and a recycled block can never leak stale quantized
+// rows into another session (Truncate/Release invalidate the memo with the
+// lease).
 type pagedCache struct {
 	pool   *Pool
 	blocks [][]float32
 	maxSeq int
+	qc     fixed.QuantCache
 }
+
+// QuantCache implements fixed.CacheQuantizer.
+func (c *pagedCache) QuantCache() *fixed.QuantCache { return &c.qc }
 
 func (c *pagedCache) Row(i int) []float32 {
 	hd := c.pool.headDim
@@ -157,9 +168,11 @@ func (c *pagedCache) EnsureLen(n int) error {
 func (c *pagedCache) Truncate() {
 	c.pool.giveBack(c.blocks)
 	c.blocks = c.blocks[:0]
+	c.qc.Invalidate()
 }
 
 func (c *pagedCache) Release() {
 	c.pool.giveBack(c.blocks)
 	c.blocks = nil
+	c.qc.Release()
 }

@@ -1,0 +1,110 @@
+package spatten
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/tensor"
+	"tokenpicker/internal/train"
+)
+
+// TestQuickselectMatchesFullSort checks rebuildActive against the reference
+// O(n log n) implementation (full sort by the priority order, take the
+// prefix, sort ascending) across random importance tables, including heavy
+// ties. The priority order is strict and total, so the two must agree
+// exactly.
+func TestQuickselectMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := testConfig(0.4, true)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(97)
+		k := New(cfg)
+		k.syncContext(n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				k.importance[i] = 0 // all-ties regime (first step after prompt)
+			case 1:
+				k.importance[i] = float64(rng.Intn(4)) // coarse ties
+			default:
+				k.importance[i] = rng.Float64()
+			}
+		}
+		layer := rng.Intn(cfg.Layers)
+		k.rebuildActive(layer, n)
+		got := k.ActiveTokens(layer)
+
+		want := referenceActive(k, layer, n)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d n=%d layer %d: got %d rows, want %d", trial, n, layer, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d n=%d layer %d: active %v != reference %v", trial, n, layer, got, want)
+			}
+		}
+	}
+}
+
+// referenceActive reimplements the pre-quickselect selection verbatim.
+func referenceActive(k *Kernel, layer, n int) []int {
+	target := len(k.active[layer]) // rebuildActive already computed the size
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = i
+	}
+	newest := n - 1
+	sort.Slice(rank, func(a, b int) bool {
+		if rank[a] == newest {
+			return true
+		}
+		if rank[b] == newest {
+			return false
+		}
+		if k.importance[rank[a]] != k.importance[rank[b]] {
+			return k.importance[rank[a]] > k.importance[rank[b]]
+		}
+		return rank[a] > rank[b]
+	})
+	kept := append([]int(nil), rank[:target]...)
+	sort.Ints(kept)
+	return kept
+}
+
+// opaqueSource / stripQuant force the from-scratch quantization path by
+// hiding the cache's side-car (see the attention package's equivalence
+// tests).
+type opaqueSource struct{ src tensor.RowSource }
+
+func (o opaqueSource) Row(r int) []float32 { return o.src.Row(r) }
+
+type stripQuant struct{ inner model.Kernel }
+
+func (s stripQuant) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
+	s.inner.Attend(out, q, opaqueSource{keys}, opaqueSource{vals}, n, scale, slope, layer, head)
+}
+
+// TestSpAttenIncrementalBitIdentical decodes the same sequence with the
+// side-car visible and with it stripped; the stateful importance tables must
+// evolve identically and the logits match bit for bit.
+func TestSpAttenIncrementalBitIdentical(t *testing.T) {
+	r := train.TestModel()
+	cfg := testConfig(0.5, true)
+	decInc := model.NewDecoder(r.Params, New(cfg))
+	decScr := model.NewDecoder(r.Params, stripQuant{New(cfg)})
+	prompt := r.Held[:32]
+	decInc.MustPrompt(prompt)
+	decScr.MustPrompt(prompt)
+	for i := 0; i < 48; i++ {
+		tok := r.Held[32+i]
+		li := decInc.MustStep(tok)
+		ls := decScr.MustStep(tok)
+		for v := range li {
+			if li[v] != ls[v] {
+				t.Fatalf("step %d vocab %d: incremental %g != scratch %g", i, v, li[v], ls[v])
+			}
+		}
+	}
+}

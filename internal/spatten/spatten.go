@@ -15,13 +15,16 @@
 //   - head pruning is not modeled (token pruning dominates KV traffic);
 //   - the "SpAtten*" fine-tuned variant is approximated by the steeper
 //     geometric cascade schedule calibrated against a recovered-accuracy
-//     (doubled) perplexity budget rather than by fine-tuning weights.
+//     (doubled) perplexity budget rather than by fine-tuning weights;
+//   - operands are quantized at the cache-wide shared scale (the layout of
+//     a KV cache stored pre-quantized in DRAM, enabling the incremental
+//     side-car), not at a scale recomputed per call over the surviving
+//     rows; the difference stays within quantization tolerance.
 package spatten
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/fixed"
@@ -90,6 +93,15 @@ type Kernel struct {
 	scores []float32
 	probs  []float32
 	rank   []int
+	mark   []bool // kept-row marker reused by rebuildActive
+
+	// Quantization state: fallback caches for bare row sources plus the
+	// quantized-query buffer. Decoder caches carry their own side-car, so
+	// the K/V cache is quantized incrementally at the shared cache-wide
+	// scale (the layout a pre-quantized KV store in DRAM would have)
+	// instead of re-quantizing the active rows on every call.
+	qk, qv fixed.QuantCache
+	qq     fixed.Vector
 }
 
 // New creates a cascade pruning kernel. Panics on invalid config.
@@ -129,13 +141,16 @@ func (k *Kernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, sc
 	scores := k.scores[:len(act)]
 	probs := k.probs[:len(act)]
 
-	// Quantized scores over active rows only (SpAtten loads all surviving K).
-	kScale := k.rowScale(keys, act, dim)
-	vScale := k.rowScale(vals, act, dim)
-	qq := fixed.Quantize(q, k.cfg.Bits)
-	c := float64(scale) * qq.Scale * kScale
+	// Quantized scores over active rows only (SpAtten loads all surviving
+	// K). Rows come pre-quantized at the shared cache-wide scale from the
+	// incremental side-car; only the dot products are per-call work.
+	kRows, kScale := k.qk.SyncFor(keys, n, dim, k.cfg.Bits)
+	vRows, vScale := k.qv.SyncFor(vals, n, dim, k.cfg.Bits)
+	qqz := fixed.QuantizeInto(k.qq, q, k.cfg.Bits)
+	k.qq = qqz.Data
+	c := float64(scale) * qqz.Scale * kScale
 	for ai, row := range act {
-		scores[ai] = float32(c*float64(k.dotQuant(qq.Data, keys.Row(row)[:dim], kScale))) -
+		scores[ai] = float32(c*float64(fixed.Dot(qqz.Data, kRows[row]))) -
 			slope*float32(n-1-row)
 	}
 	tensor.Softmax(probs, scores)
@@ -147,10 +162,9 @@ func (k *Kernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, sc
 	for ai, row := range act {
 		k.importance[row] += float64(probs[ai])
 		p := probs[ai]
-		vRow := vals.Row(row)[:dim]
+		vRow := vRows[row]
 		for j := 0; j < dim; j++ {
-			qv := math.Round(float64(vRow[j]) / vScale)
-			out[j] += p * float32(vScale*qv)
+			out[j] += p * float32(vScale*float64(vRow[j]))
 		}
 	}
 
@@ -178,13 +192,22 @@ func (k *Kernel) syncContext(n int) {
 
 // rebuildActive selects the layer's active rows: the top keep-fraction of
 // the sequence by cumulative importance, always including the newest row.
+// Selection is O(n) — quickselect for the top-target boundary, then a marker
+// scan to emit the kept rows in ascending order — instead of the O(n log n)
+// full sort the priority order would otherwise cost every layer of every
+// decode step.
 func (k *Kernel) rebuildActive(layer, n int) {
 	target := int(math.Ceil(k.cfg.layerKeepFraction(layer) * float64(n)))
 	if target < k.cfg.MinKeep {
 		target = k.cfg.MinKeep
 	}
-	if target > n {
-		target = n
+	act := k.active[layer][:0]
+	if target >= n {
+		for i := 0; i < n; i++ {
+			act = append(act, i)
+		}
+		k.active[layer] = act
+		return
 	}
 	if cap(k.rank) < n {
 		k.rank = make([]int, n)
@@ -193,51 +216,83 @@ func (k *Kernel) rebuildActive(layer, n int) {
 	for i := range rank {
 		rank[i] = i
 	}
-	newest := n - 1
-	sort.Slice(rank, func(a, b int) bool {
-		// Newest row first (it was just produced and must be attended),
-		// then by descending cumulative importance, then by recency.
-		if rank[a] == newest {
-			return true
-		}
-		if rank[b] == newest {
-			return false
-		}
-		if k.importance[rank[a]] != k.importance[rank[b]] {
-			return k.importance[rank[a]] > k.importance[rank[b]]
-		}
-		return rank[a] > rank[b]
-	})
-	kept := append([]int(nil), rank[:target]...)
-	sort.Ints(kept)
-	k.active[layer] = kept
-}
-
-// rowScale computes the shared quantization scale over the given rows.
-func (k *Kernel) rowScale(m tensor.RowSource, rows []int, dim int) float64 {
-	var maxMag float32
-	for _, r := range rows {
-		if v := tensor.MaxAbs(m.Row(r)[:dim]); v > maxMag {
-			maxMag = v
+	k.selectTop(rank, target, n-1)
+	if cap(k.mark) < n {
+		k.mark = make([]bool, n)
+	}
+	mark := k.mark[:n]
+	for i := range mark {
+		mark[i] = false
+	}
+	for _, r := range rank[:target] {
+		mark[r] = true
+	}
+	for i := 0; i < n; i++ {
+		if mark[i] {
+			act = append(act, i)
 		}
 	}
-	return fixed.ScaleFor(float64(maxMag), k.cfg.Bits)
+	k.active[layer] = act
 }
 
-// dotQuant quantizes the key row at scale and dots it with the quantized
-// query.
-func (k *Kernel) dotQuant(q fixed.Vector, kRow []float32, scale float64) int64 {
-	qmax := float64(int32(1)<<(k.cfg.Bits-1) - 1)
-	var acc int64
-	for j, x := range kRow {
-		v := math.Round(float64(x) / scale)
-		if v > qmax {
-			v = qmax
-		}
-		if v < -qmax-1 {
-			v = -qmax - 1
-		}
-		acc += int64(q[j]) * int64(v)
+// higher reports whether row a outranks row b: the newest row first (it was
+// just produced and must be attended), then descending cumulative
+// importance, then recency. The order is strict and total, so the top-target
+// set is unique and quickselect returns exactly what a full sort would.
+func (k *Kernel) higher(a, b, newest int) bool {
+	if a == newest {
+		return true
 	}
-	return acc
+	if b == newest {
+		return false
+	}
+	if k.importance[a] != k.importance[b] {
+		return k.importance[a] > k.importance[b]
+	}
+	return a > b
+}
+
+// selectTop partially partitions rank so rank[:target] holds the target
+// highest-priority rows (in arbitrary order). Expected O(n) via quickselect
+// with median-of-three pivots.
+func (k *Kernel) selectTop(rank []int, target, newest int) {
+	lo, hi := 0, len(rank)-1
+	for lo < hi {
+		p := k.partition(rank, lo, hi, newest)
+		switch {
+		case p == target-1 || p == target:
+			return
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+// partition is a Lomuto partition of rank[lo..hi] under higher, with a
+// median-of-three pivot. Rows before the returned index outrank the pivot;
+// rows after do not.
+func (k *Kernel) partition(rank []int, lo, hi, newest int) int {
+	mid := lo + (hi-lo)/2
+	if k.higher(rank[mid], rank[lo], newest) {
+		rank[lo], rank[mid] = rank[mid], rank[lo]
+	}
+	if k.higher(rank[hi], rank[lo], newest) {
+		rank[lo], rank[hi] = rank[hi], rank[lo]
+	}
+	if k.higher(rank[hi], rank[mid], newest) {
+		rank[mid], rank[hi] = rank[hi], rank[mid]
+	}
+	rank[mid], rank[hi] = rank[hi], rank[mid]
+	pivot := rank[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if k.higher(rank[j], pivot, newest) {
+			rank[i], rank[j] = rank[j], rank[i]
+			i++
+		}
+	}
+	rank[i], rank[hi] = rank[hi], rank[i]
+	return i
 }
