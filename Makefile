@@ -1,11 +1,17 @@
 GO ?= go
+NCPU ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all vet build test test-full check bench bench-go serve-demo clean
+.PHONY: all vet fmt-check build test test-full check bench bench-go serve-demo clean
 
 all: vet build test
 
 vet:
 	$(GO) vet ./...
+
+# Gate on canonical formatting: gofmt -l prints offending files.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -18,12 +24,18 @@ test:
 test-full:
 	$(GO) test -race ./...
 
-# Focused gate for the incremental quantized-KV cache: vet, build, the
-# cache/kernel/serving tests under the race detector, then the steady-state
-# allocation guard without -race (race instrumentation skews alloc counts,
-# so the guard skips itself there).
-check: vet build
-	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/serve/ ./internal/bench/
+# Focused gate for the incremental quantized-KV cache and the head-parallel
+# executor: formatting, vet, build, the cache/kernel/executor/serving tests
+# under the race detector, the pool-vs-serial equivalence tests pinned to
+# one core and to every core (schedule diversity must never change a logit
+# bit), the parallel decode race test, then the steady-state allocation
+# guard without -race (race instrumentation skews alloc counts, so the
+# guard skips itself there).
+check: fmt-check vet build
+	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/exec/ ./internal/serve/ ./internal/bench/
+	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar' ./internal/bench/ ./internal/attention/ ./internal/serve/
+	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar' ./internal/bench/ ./internal/attention/ ./internal/serve/
+	TOPICK_QUICK=1 $(GO) test -race -count=1 -run 'TestParallelDecodeRace|TestHeadParallel' ./internal/bench/ ./internal/serve/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run TestAttendSteadyStateZeroAllocs ./internal/bench/
 
 # Measured decode-step trajectory: writes BENCH_decode.json (ns/token,

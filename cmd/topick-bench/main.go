@@ -2,10 +2,12 @@
 // results as the repo's performance trajectory. It runs the same benchmark
 // bodies as `go test -bench BenchmarkDecodeStep` through testing.Benchmark,
 // compares the incremental quantized-KV cache against the from-scratch
-// baseline, and writes a JSON record future PRs regress against:
+// baseline and the head-parallel pool executor against serial execution,
+// and writes a JSON record future PRs regress against:
 //
 //	make bench            # writes BENCH_decode.json at the repo root
 //	go run ./cmd/topick-bench -contexts 128,512,1024 -out my.json
+//	go run ./cmd/topick-bench -parallel 8 -par-heads 8,16 -par-context 512
 package main
 
 import (
@@ -13,48 +15,73 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"tokenpicker/internal/bench"
+	"tokenpicker/internal/exec"
 )
 
 type report struct {
 	Note      string                   `json:"note"`
 	Unit      string                   `json:"unit"`
 	Timestamp string                   `json:"timestamp"`
+	CPUs      int                      `json:"cpus"` // cores visible to the run; pool speedups are bounded by this
 	Results   []bench.DecodeStepResult `json:"results"`
 	// Speedup maps "kernel/ctx=N" to scratch-ns / incremental-ns for the
-	// quantizing kernels: the measured win of the incremental cache.
-	Speedup map[string]float64 `json:"speedup_incremental_vs_scratch"`
+	// quantizing kernels (the measured win of the incremental cache) and
+	// "kernel/heads=H/ctx=N/pool=W" to serial-ns / pool-ns (the measured
+	// win of the head-parallel executor; ~1.0 on a single-core host).
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+func parseInts(s, flagName string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "topick-bench: bad %s %q\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func main() {
 	out := flag.String("out", "BENCH_decode.json", "output JSON path")
 	contexts := flag.String("contexts", "128,512", "comma-separated context lengths")
+	parallel := flag.Int("parallel", 0, "pool-executor width for the head-parallel arm (0 = NumCPU)")
+	parHeads := flag.String("par-heads", "8,16", "head counts for the head-parallel arm")
+	parCtx := flag.Int("par-context", 512, "context length for the head-parallel arm")
 	flag.Parse()
 
-	var ctxs []int
-	for _, f := range strings.Split(*contexts, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "topick-bench: bad context %q\n", f)
-			os.Exit(2)
-		}
-		ctxs = append(ctxs, n)
+	ctxs := parseInts(*contexts, "context")
+	heads := parseInts(*parHeads, "par-heads")
+	// The comparison arm always runs a real pool (width >= 2) so the
+	// serial/pool columns both exist; on a single-core host the pool row
+	// honestly measures pure executor overhead (speedup ~1.0).
+	width := exec.ResolveWidth(*parallel)
+	if width < 2 {
+		width = 2
 	}
 
 	rep := report{
 		Note: "decode-step hot path: one generation step through the full decoder " +
 			"(attention + FFN) per kernel; scratch mode re-quantizes the whole KV " +
-			"cache every Attend (the pre-incremental behaviour of the attention " +
-			"kernels; an upper bound on it for spatten, which used to quantize " +
-			"only surviving rows), incremental mode uses the cache-owned side-car",
+			"cache every attention call (the pre-incremental behaviour; an upper " +
+			"bound on it for spatten, which used to quantize only surviving rows), " +
+			"incremental mode uses the cache-owned side-car; parallel=W rows run " +
+			"the heads of each layer on a W-slot work-stealing pool executor",
 		Unit:      "ns per generated token",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
 		Speedup:   map[string]float64{},
 	}
+
+	// Arm 1: incremental vs from-scratch quantization (serial executor).
 	scratchNs := map[string]float64{}
 	for _, kernel := range bench.DecodeKernels() {
 		for _, ctx := range ctxs {
@@ -67,15 +94,14 @@ func main() {
 			for _, scratch := range modes {
 				r := bench.RunDecodeStep(kernel, ctx, scratch)
 				rep.Results = append(rep.Results, r)
-				fmt.Printf("%-16s ctx=%-5d %-11s %12.0f ns/tok %10.0f tok/s %4d allocs/op\n",
-					r.Kernel, r.Context, r.Mode, r.NsPerToken, r.TokensPerSec, r.AllocsPerOp)
+				fmt.Printf("%-16s ctx=%-5d heads=%-3d par=%-3d %-11s %12.0f ns/tok %10.0f tok/s %4d allocs/op\n",
+					r.Kernel, r.Context, r.Heads, r.Parallel, r.Mode, r.NsPerToken, r.TokensPerSec, r.AllocsPerOp)
 				if scratch {
 					scratchNs[fmt.Sprintf("%s/ctx=%d", kernel, ctx)] = r.NsPerToken
 				}
 			}
 		}
 	}
-	// Scratch runs after incremental within a combo; fill speedups now.
 	for _, r := range rep.Results {
 		if r.Mode != "incremental" {
 			continue
@@ -85,8 +111,30 @@ func main() {
 			rep.Speedup[key] = s / r.NsPerToken
 		}
 	}
+
+	// Arm 2: serial vs head-parallel pool executor at wider head counts.
+	for _, kernel := range bench.DecodeKernels() {
+		for _, h := range heads {
+			var serialNs float64
+			for _, w := range []int{1, width} {
+				r := bench.RunDecodeStepSpec(bench.DecodeBenchSpec{
+					Kernel: kernel, Context: *parCtx, Heads: h, Parallel: w,
+				})
+				rep.Results = append(rep.Results, r)
+				fmt.Printf("%-16s ctx=%-5d heads=%-3d par=%-3d %-11s %12.0f ns/tok %10.0f tok/s %4d allocs/op\n",
+					r.Kernel, r.Context, r.Heads, r.Parallel, r.Mode, r.NsPerToken, r.TokensPerSec, r.AllocsPerOp)
+				if w == 1 {
+					serialNs = r.NsPerToken
+				} else if serialNs > 0 {
+					key := fmt.Sprintf("%s/heads=%d/ctx=%d/pool=%d", kernel, h, *parCtx, w)
+					rep.Speedup[key] = serialNs / r.NsPerToken
+				}
+			}
+		}
+	}
+
 	for key, s := range rep.Speedup {
-		fmt.Printf("speedup %-28s %.2fx\n", key, s)
+		fmt.Printf("speedup %-40s %.2fx\n", key, s)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -31,6 +31,7 @@ func main() {
 		stride    = flag.Int("stride", 6, "extra prompt tokens per session index")
 		threshold = flag.Float64("threshold", 1e-3, "Token-Picker pruning threshold")
 		blockRows = flag.Int("block-rows", 32, "KV pool block granularity (rows)")
+		parallel  = flag.Int("parallel", 1, "per-worker head parallelism (executor slots; 0 = NumCPU)")
 		quantum   = flag.Int("quantum", 1, "generation steps per scheduling quantum")
 		temp      = flag.Float64("temperature", 0, "sampling temperature (0 = greedy)")
 		deadline  = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
@@ -55,10 +56,11 @@ func main() {
 	}
 
 	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
-		Workers:   *workers,
-		Quantum:   *quantum,
-		BlockRows: *blockRows,
-		NewKernel: func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
+		Workers:      *workers,
+		Quantum:      *quantum,
+		BlockRows:    *blockRows,
+		HeadParallel: tokenpicker.ResolveParallel(*parallel),
+		NewKernel:    func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
 	})
 
 	type outcome struct {
@@ -133,7 +135,8 @@ func main() {
 		cmp := bench.CompareServing(res, bench.ServingOptions{
 			Sessions: *sessions, PromptLen: *promptLen, Stride: *stride,
 			MaxNew: *maxNew, Workers: *workers, BlockRows: *blockRows,
-			Threshold: *threshold,
+			Threshold:    *threshold,
+			HeadParallel: tokenpicker.ResolveParallel(*parallel),
 		})
 		fmt.Println(bench.ServingTable(cmp).String())
 	}

@@ -5,6 +5,14 @@
 // probability-threshold method could achieve. Every kernel tracks the
 // off-chip traffic it would have generated so perplexity and memory-access
 // numbers come from the same code path.
+//
+// Kernels receive whole layers (model.AttendBatch) and schedule the heads
+// on the batch's executor. All mutable per-call state — quantization
+// scratch, estimator scratch, transfer statistics — lives in per-slot
+// shards, so heads running concurrently never share memory; statistics are
+// merged across shards when read. Head outputs are computed independently
+// with no cross-head reduction, so pool execution is bit-identical to
+// serial.
 package attention
 
 import (
@@ -12,10 +20,11 @@ import (
 
 	"tokenpicker/internal/core"
 	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/model"
 	"tokenpicker/internal/tensor"
 )
 
-// Stats accumulates transfer accounting across Attend calls.
+// Stats accumulates transfer accounting across attention calls.
 type Stats struct {
 	Instances int64 // attention instances (query x layer x head)
 	Tokens    int64 // context tokens summed over instances
@@ -71,10 +80,10 @@ func (s *Stats) TotalReduction() float64 {
 	return float64(s.BaselineKBytes+s.BaselineVBytes) / float64(moved)
 }
 
-// quantScratch holds the per-kernel quantization state shared by every
-// kernel in this package: a quantized-query buffer and two fallback
-// QuantCaches for row sources that do not carry their own side-car. When the
-// source implements fixed.CacheQuantizer (the decoder's dense cache and the
+// quantScratch holds one slot's quantization state shared by every kernel
+// in this package: a quantized-query buffer and two fallback QuantCaches
+// for row sources that do not carry their own side-car. When the source
+// implements fixed.CacheQuantizer (the decoder's dense cache and the
 // serving engine's paged cache both do), SyncFor routes to the source-owned
 // side-car instead and quantization is incremental — O(added rows) per
 // decode step rather than O(context).
@@ -84,7 +93,7 @@ type quantScratch struct {
 	bias   []float32
 }
 
-// query quantizes q reusing the kernel-owned buffer.
+// query quantizes q reusing the slot-owned buffer.
 func (qs *quantScratch) query(q []float32, bits uint) fixed.Quantized {
 	out := fixed.QuantizeInto(qs.qq, q, bits)
 	qs.qq = out.Data
@@ -118,12 +127,27 @@ func (qs *quantScratch) values(src tensor.RowSource, n, dim int, bits uint) ([]f
 // TokenPicker is the paper's kernel: probability-estimation pruning over
 // chunked 12-bit keys, quantized values for kept tokens only.
 type TokenPicker struct {
-	Est   *core.Estimator
-	Bits  uint // operand precision (12 in the paper)
-	stats Stats
-	qs    quantScratch
-	rep   core.Report
+	Est    *core.Estimator // slot 0's estimator; extra slots clone its config
+	Bits   uint            // operand precision (12 in the paper)
+	slots  []tpSlot
+	runner tpRunner
 }
+
+// tpSlot is one executor slot's private state.
+type tpSlot struct {
+	est   *core.Estimator
+	rep   core.Report
+	qs    quantScratch
+	stats Stats
+}
+
+type tpRunner struct {
+	k *TokenPicker
+	b model.AttendBatch
+}
+
+// Do implements exec.Tasks.
+func (r *tpRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
 
 // NewTokenPicker builds the kernel at the given pruning threshold with the
 // paper's defaults.
@@ -136,49 +160,85 @@ func NewTokenPickerFrom(cfg core.Config) *TokenPicker {
 	return &TokenPicker{Est: core.MustNewEstimator(cfg), Bits: cfg.Chunks.TotalBits}
 }
 
-// Stats returns the accumulated transfer statistics.
-func (k *TokenPicker) Stats() Stats { return k.stats }
-
-// ResetStats clears the accumulated statistics.
-func (k *TokenPicker) ResetStats() { k.stats = Stats{} }
-
-// Attend implements model.Kernel.
-func (k *TokenPicker) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	dim := len(q)
-	cspec := k.Est.Config().Chunks
-	kRows, kPlanes, kScale := k.qs.chunkedKeys(keys, n, dim, cspec)
-	qq := k.qs.query(q, k.Bits)
-	if cap(k.qs.bias) < n {
-		k.qs.bias = make([]float32, n)
+// Stats returns the transfer statistics merged across executor slots.
+func (k *TokenPicker) Stats() Stats {
+	var merged Stats
+	for i := range k.slots {
+		merged.Add(k.slots[i].stats)
 	}
-	k.qs.bias = k.qs.bias[:n]
+	return merged
+}
+
+// ResetStats clears the accumulated statistics of every slot.
+func (k *TokenPicker) ResetStats() {
+	for i := range k.slots {
+		k.slots[i].stats = Stats{}
+	}
+}
+
+// ensureSlots provisions per-slot state up to width. Slot 0 reuses the
+// kernel's configured estimator; extra slots get clones of its config, so
+// every slot prunes identically.
+func (k *TokenPicker) ensureSlots(width int) {
+	for len(k.slots) < width {
+		var est *core.Estimator
+		if len(k.slots) == 0 {
+			est = k.Est
+		} else {
+			est = core.MustNewEstimator(k.Est.Config())
+		}
+		k.slots = append(k.slots, tpSlot{est: est})
+	}
+}
+
+// AttendLayer implements model.Kernel.
+func (k *TokenPicker) AttendLayer(batch model.AttendBatch) {
+	k.ensureSlots(batch.Width())
+	k.runner.k = k
+	k.runner.b = batch
+	batch.Run(&k.runner)
+}
+
+func (k *TokenPicker) attendHead(b *model.AttendBatch, h, slot int) {
+	s := &k.slots[slot]
+	q, out := b.HeadQ(h), b.HeadOut(h)
+	keys, vals := b.Keys[h], b.Vals[h]
+	n, dim := b.N, b.HeadDim
+	slope := b.Slopes[h]
+	cspec := s.est.Config().Chunks
+	kRows, kPlanes, kScale := s.qs.chunkedKeys(keys, n, dim, cspec)
+	qq := s.qs.query(q, k.Bits)
+	if cap(s.qs.bias) < n {
+		s.qs.bias = make([]float32, n)
+	}
+	s.qs.bias = s.qs.bias[:n]
 	for i := 0; i < n; i++ {
-		k.qs.bias[i] = -slope * float32(n-1-i)
+		s.qs.bias[i] = -slope * float32(n-1-i)
 	}
-	rep := &k.rep
-	k.Est.RunInto(rep, core.Inputs{
+	rep := &s.rep
+	s.est.RunInto(rep, core.Inputs{
 		Q:       qq,
 		K:       kRows,
 		KPlanes: kPlanes,
 		KScale:  kScale,
-		Scale:   float64(scale),
-		Bias:    k.qs.bias,
+		Scale:   float64(b.Scale),
+		Bias:    s.qs.bias,
 	})
 
-	cs := k.Est.Config().Chunks
-	k.stats.Instances++
-	k.stats.Tokens += int64(n)
-	k.stats.Kept += int64(len(rep.Kept))
-	for len(k.stats.ChunkFetches) < len(rep.ChunkFetches) {
-		k.stats.ChunkFetches = append(k.stats.ChunkFetches, 0)
+	cs := s.est.Config().Chunks
+	s.stats.Instances++
+	s.stats.Tokens += int64(n)
+	s.stats.Kept += int64(len(rep.Kept))
+	for len(s.stats.ChunkFetches) < len(rep.ChunkFetches) {
+		s.stats.ChunkFetches = append(s.stats.ChunkFetches, 0)
 	}
-	for b, v := range rep.ChunkFetches {
-		k.stats.ChunkFetches[b] += v
+	for bkt, v := range rep.ChunkFetches {
+		s.stats.ChunkFetches[bkt] += v
 	}
-	k.stats.KBytes += rep.KBytes(cs, dim)
-	k.stats.VBytes += rep.VBytes(cs, dim)
-	k.stats.BaselineKBytes += rep.BaselineKBytes(cs, dim)
-	k.stats.BaselineVBytes += rep.BaselineVBytes(cs, dim)
+	s.stats.KBytes += rep.KBytes(cs, dim)
+	s.stats.VBytes += rep.VBytes(cs, dim)
+	s.stats.BaselineKBytes += rep.BaselineKBytes(cs, dim)
+	s.stats.BaselineVBytes += rep.BaselineVBytes(cs, dim)
 
 	for j := range out {
 		out[j] = 0
@@ -189,12 +249,12 @@ func (k *TokenPicker) Attend(out, q []float32, keys, vals tensor.RowSource, n in
 		// That fallback still moves one value vector off-chip, so it counts
 		// toward Kept and VBytes like any kept token.
 		copy(out, vals.Row(n - 1)[:dim])
-		k.stats.Kept++
-		k.stats.VBytes += int64(cs.VectorBytes(dim))
+		s.stats.Kept++
+		s.stats.VBytes += int64(cs.VectorBytes(dim))
 		return
 	}
 	// Weighted sum over kept tokens with quantized values.
-	vRows, vScale := k.qs.values(vals, n, dim, k.Bits)
+	vRows, vScale := s.qs.values(vals, n, dim, k.Bits)
 	for _, i := range rep.Kept {
 		p := float32(rep.Prob(i))
 		vRow := vRows[i]
@@ -209,34 +269,71 @@ func (k *TokenPicker) Attend(out, q []float32, keys, vals tensor.RowSource, n in
 // deltas against this kernel isolate the pruning effect from quantization.
 type QuantizedExact struct {
 	Bits   uint
-	stats  Stats
+	slots  []qeSlot
+	runner qeRunner
+}
+
+type qeSlot struct {
 	qs     quantScratch
 	scores []float32
 	probs  []float32
+	stats  Stats
 }
+
+type qeRunner struct {
+	k *QuantizedExact
+	b model.AttendBatch
+}
+
+// Do implements exec.Tasks.
+func (r *qeRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
 
 // NewQuantizedExact returns the 12-bit exact kernel.
 func NewQuantizedExact() *QuantizedExact { return &QuantizedExact{Bits: 12} }
 
-// Stats returns accumulated transfer statistics (always baseline traffic).
-func (k *QuantizedExact) Stats() Stats { return k.stats }
-
-// ResetStats clears the statistics.
-func (k *QuantizedExact) ResetStats() { k.stats = Stats{} }
-
-// Attend implements model.Kernel.
-func (k *QuantizedExact) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	dim := len(q)
-	if cap(k.scores) < n {
-		k.scores = make([]float32, n)
-		k.probs = make([]float32, n)
+// Stats returns statistics merged across executor slots (always baseline
+// traffic).
+func (k *QuantizedExact) Stats() Stats {
+	var merged Stats
+	for i := range k.slots {
+		merged.Add(k.slots[i].stats)
 	}
-	scores := k.scores[:n]
-	probs := k.probs[:n]
-	kRows, kScale := k.qs.keys(keys, n, dim, k.Bits)
-	vRows, vScale := k.qs.values(vals, n, dim, k.Bits)
-	qq := k.qs.query(q, k.Bits)
-	c := float64(scale) * qq.Scale * kScale
+	return merged
+}
+
+// ResetStats clears every slot's statistics.
+func (k *QuantizedExact) ResetStats() {
+	for i := range k.slots {
+		k.slots[i].stats = Stats{}
+	}
+}
+
+// AttendLayer implements model.Kernel.
+func (k *QuantizedExact) AttendLayer(batch model.AttendBatch) {
+	for len(k.slots) < batch.Width() {
+		k.slots = append(k.slots, qeSlot{})
+	}
+	k.runner.k = k
+	k.runner.b = batch
+	batch.Run(&k.runner)
+}
+
+func (k *QuantizedExact) attendHead(b *model.AttendBatch, h, slot int) {
+	s := &k.slots[slot]
+	q, out := b.HeadQ(h), b.HeadOut(h)
+	keys, vals := b.Keys[h], b.Vals[h]
+	n, dim := b.N, b.HeadDim
+	slope := b.Slopes[h]
+	if cap(s.scores) < n {
+		s.scores = make([]float32, n)
+		s.probs = make([]float32, n)
+	}
+	scores := s.scores[:n]
+	probs := s.probs[:n]
+	kRows, kScale := s.qs.keys(keys, n, dim, k.Bits)
+	vRows, vScale := s.qs.values(vals, n, dim, k.Bits)
+	qq := s.qs.query(q, k.Bits)
+	c := float64(b.Scale) * qq.Scale * kScale
 	for i := 0; i < n; i++ {
 		scores[i] = float32(c*float64(fixed.Dot(qq.Data, kRows[i]))) - slope*float32(n-1-i)
 	}
@@ -252,14 +349,14 @@ func (k *QuantizedExact) Attend(out, q []float32, keys, vals tensor.RowSource, n
 		}
 	}
 	cs := fixed.ChunkSpec{TotalBits: k.Bits, ChunkBits: k.Bits}
-	k.stats.Instances++
-	k.stats.Tokens += int64(n)
-	k.stats.Kept += int64(n)
+	s.stats.Instances++
+	s.stats.Tokens += int64(n)
+	s.stats.Kept += int64(n)
 	bytes := int64(n) * int64(cs.VectorBytes(dim))
-	k.stats.KBytes += bytes
-	k.stats.VBytes += bytes
-	k.stats.BaselineKBytes += bytes
-	k.stats.BaselineVBytes += bytes
+	s.stats.KBytes += bytes
+	s.stats.VBytes += bytes
+	s.stats.BaselineKBytes += bytes
+	s.stats.BaselineVBytes += bytes
 }
 
 // Oracle prunes tokens whose exact probability is at or below the
@@ -268,41 +365,77 @@ func (k *QuantizedExact) Attend(out, q []float32, keys, vals tensor.RowSource, n
 type Oracle struct {
 	Threshold float64
 	Bits      uint
-	stats     Stats
-	qs        quantScratch
-	scores    []float32
-	probs     []float32
-	keptIdx   []int
+	slots     []orSlot
+	runner    orRunner
 }
+
+type orSlot struct {
+	qs      quantScratch
+	scores  []float32
+	probs   []float32
+	keptIdx []int
+	stats   Stats
+}
+
+type orRunner struct {
+	k *Oracle
+	b model.AttendBatch
+}
+
+// Do implements exec.Tasks.
+func (r *orRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
 
 // NewOracle returns an oracle pruning kernel.
 func NewOracle(threshold float64) *Oracle { return &Oracle{Threshold: threshold, Bits: 12} }
 
-// Stats returns accumulated transfer statistics.
-func (k *Oracle) Stats() Stats { return k.stats }
-
-// ResetStats clears the statistics.
-func (k *Oracle) ResetStats() { k.stats = Stats{} }
-
-// Attend implements model.Kernel.
-func (k *Oracle) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	dim := len(q)
-	if cap(k.scores) < n {
-		k.scores = make([]float32, n)
-		k.probs = make([]float32, n)
+// Stats returns statistics merged across executor slots.
+func (k *Oracle) Stats() Stats {
+	var merged Stats
+	for i := range k.slots {
+		merged.Add(k.slots[i].stats)
 	}
-	scores := k.scores[:n]
-	probs := k.probs[:n]
-	kRows, kScale := k.qs.keys(keys, n, dim, k.Bits)
-	vRows, vScale := k.qs.values(vals, n, dim, k.Bits)
-	qq := k.qs.query(q, k.Bits)
-	c := float64(scale) * qq.Scale * kScale
+	return merged
+}
+
+// ResetStats clears every slot's statistics.
+func (k *Oracle) ResetStats() {
+	for i := range k.slots {
+		k.slots[i].stats = Stats{}
+	}
+}
+
+// AttendLayer implements model.Kernel.
+func (k *Oracle) AttendLayer(batch model.AttendBatch) {
+	for len(k.slots) < batch.Width() {
+		k.slots = append(k.slots, orSlot{})
+	}
+	k.runner.k = k
+	k.runner.b = batch
+	batch.Run(&k.runner)
+}
+
+func (k *Oracle) attendHead(b *model.AttendBatch, h, slot int) {
+	s := &k.slots[slot]
+	q, out := b.HeadQ(h), b.HeadOut(h)
+	keys, vals := b.Keys[h], b.Vals[h]
+	n, dim := b.N, b.HeadDim
+	slope := b.Slopes[h]
+	if cap(s.scores) < n {
+		s.scores = make([]float32, n)
+		s.probs = make([]float32, n)
+	}
+	scores := s.scores[:n]
+	probs := s.probs[:n]
+	kRows, kScale := s.qs.keys(keys, n, dim, k.Bits)
+	vRows, vScale := s.qs.values(vals, n, dim, k.Bits)
+	qq := s.qs.query(q, k.Bits)
+	c := float64(b.Scale) * qq.Scale * kScale
 	for i := 0; i < n; i++ {
 		scores[i] = float32(c*float64(fixed.Dot(qq.Data, kRows[i]))) - slope*float32(n-1-i)
 	}
 	tensor.Softmax(probs, scores)
 
-	keptIdx := k.keptIdx[:0]
+	keptIdx := s.keptIdx[:0]
 	var keptMass float64
 	for i := 0; i < n; i++ {
 		if float64(probs[i]) > k.Threshold {
@@ -316,7 +449,7 @@ func (k *Oracle) Attend(out, q []float32, keys, vals tensor.RowSource, n int, sc
 		keptIdx = append(keptIdx, best)
 		keptMass = float64(probs[best])
 	}
-	k.keptIdx = keptIdx
+	s.keptIdx = keptIdx
 	for j := range out {
 		out[j] = 0
 	}
@@ -330,11 +463,11 @@ func (k *Oracle) Attend(out, q []float32, keys, vals tensor.RowSource, n int, sc
 
 	cs := fixed.ChunkSpec{TotalBits: k.Bits, ChunkBits: k.Bits}
 	vecBytes := int64(cs.VectorBytes(dim))
-	k.stats.Instances++
-	k.stats.Tokens += int64(n)
-	k.stats.Kept += int64(len(keptIdx))
-	k.stats.KBytes += int64(n) * vecBytes
-	k.stats.VBytes += int64(len(keptIdx)) * vecBytes
-	k.stats.BaselineKBytes += int64(n) * vecBytes
-	k.stats.BaselineVBytes += int64(n) * vecBytes
+	s.stats.Instances++
+	s.stats.Tokens += int64(n)
+	s.stats.Kept += int64(len(keptIdx))
+	s.stats.KBytes += int64(n) * vecBytes
+	s.stats.VBytes += int64(len(keptIdx)) * vecBytes
+	s.stats.BaselineKBytes += int64(n) * vecBytes
+	s.stats.BaselineVBytes += int64(n) * vecBytes
 }

@@ -25,7 +25,7 @@ func buildCache(rng *rand.Rand, n, dim int) (q []float32, keys, vals *tensor.Mat
 
 func attendAll(k model.Kernel, q []float32, keys, vals tensor.RowSource, n int) []float32 {
 	out := make([]float32, len(q))
-	k.Attend(out, q, keys, vals, n, float32(1/math.Sqrt(float64(len(q)))), 0.01, 0, 0)
+	model.AttendOne(k, out, q, keys, vals, n, float32(1/math.Sqrt(float64(len(q)))), 0.01, 0)
 	return out
 }
 

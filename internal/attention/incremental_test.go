@@ -17,8 +17,15 @@ func (o opaqueSource) Row(r int) []float32 { return o.src.Row(r) }
 // stripQuant wraps a kernel so its K/V sources lose the side-car.
 type stripQuant struct{ inner model.Kernel }
 
-func (s stripQuant) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	s.inner.Attend(out, q, opaqueSource{keys}, opaqueSource{vals}, n, scale, slope, layer, head)
+func (s stripQuant) AttendLayer(b model.AttendBatch) {
+	keys := make([]tensor.RowSource, b.Heads)
+	vals := make([]tensor.RowSource, b.Heads)
+	for h := 0; h < b.Heads; h++ {
+		keys[h] = opaqueSource{b.Keys[h]}
+		vals[h] = opaqueSource{b.Vals[h]}
+	}
+	b.Keys, b.Vals = keys, vals
+	s.inner.AttendLayer(b)
 }
 
 // TestIncrementalQuantCacheBitIdenticalLogits decodes the same sequence

@@ -5,14 +5,17 @@ import (
 	"math/rand"
 	"testing"
 
-	"tokenpicker/internal/attention"
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
-	"tokenpicker/internal/spatten"
+	"tokenpicker/internal/tensor"
 )
 
 // TestAttendSteadyStateZeroAllocs is the regression guard for the
-// incremental-quantization work: once warmed up, no kernel's Attend may
-// allocate when the context is stable. Any allocation here reintroduces
+// incremental-quantization and head-parallel work: once warmed up, no
+// kernel's layer attention may allocate when the context is stable — under
+// the serial executor and under the pool executor alike (per-slot scratch
+// must be provisioned during warm-up and then reused, and Pool.Run itself
+// must dispatch without garbage). Any allocation here reintroduces
 // per-token garbage on the serving hot path, so the test fails hard rather
 // than reporting a benchmark delta someone has to notice.
 func TestAttendSteadyStateZeroAllocs(t *testing.T) {
@@ -27,42 +30,57 @@ func TestAttendSteadyStateZeroAllocs(t *testing.T) {
 		prompt[i] = (i * 13) % cfg.VocabSize
 	}
 	dec.MustPrompt(prompt)
-	keys, vals := dec.Cache(0, 0)
 	n := dec.Len()
 
+	d := cfg.DModel()
 	rng := rand.New(rand.NewSource(33))
-	q := make([]float32, cfg.HeadDim)
+	q := make([]float32, d)
 	for i := range q {
 		q[i] = float32(rng.NormFloat64())
 	}
-	out := make([]float32, cfg.HeadDim)
-	scale := float32(1 / math.Sqrt(float64(cfg.HeadDim)))
-	slope := cfg.AlibiSlope(0)
+	out := make([]float32, d)
+	slopes := make([]float32, cfg.Heads)
+	keys := make([]tensor.RowSource, cfg.Heads)
+	vals := make([]tensor.RowSource, cfg.Heads)
+	for h := 0; h < cfg.Heads; h++ {
+		slopes[h] = cfg.AlibiSlope(h)
+		keys[h], vals[h] = dec.Cache(0, h)
+	}
 
-	spCfg := spatten.Config{
-		KeepRatio: 0.5, MinKeep: 4,
-		Layers: cfg.Layers, Heads: cfg.Heads,
-		Cascade: true, Bits: 12,
-	}
-	kernels := []struct {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	executors := []struct {
 		name string
-		k    model.Kernel
+		ex   exec.Executor
 	}{
-		{"exact", &model.ExactKernel{}},
-		{"quantized-exact", attention.NewQuantizedExact()},
-		{"token-picker", attention.NewTokenPicker(1e-3)},
-		{"oracle", attention.NewOracle(1e-3)},
-		{"spatten", spatten.New(spCfg)},
+		{"serial", exec.Serial{}},
+		{"pool", pool},
 	}
-	for _, tc := range kernels {
-		attend := func() {
-			tc.k.Attend(out, q, keys, vals, n, scale, slope, 0, 0)
+	for _, et := range executors {
+		batch := model.AttendBatch{
+			Layer:   0,
+			N:       n,
+			Heads:   cfg.Heads,
+			HeadDim: cfg.HeadDim,
+			Scale:   float32(1 / math.Sqrt(float64(cfg.HeadDim))),
+			Slopes:  slopes,
+			Q:       q,
+			Out:     out,
+			Keys:    keys,
+			Vals:    vals,
+			Exec:    et.ex,
 		}
-		for i := 0; i < 3; i++ {
-			attend() // warm up scratch and the quantized side-car
-		}
-		if allocs := testing.AllocsPerRun(100, attend); allocs != 0 {
-			t.Errorf("%s: steady-state Attend allocates %g times per call", tc.name, allocs)
+		// Fresh kernels per executor so each provisions its own slot count.
+		for _, name := range DecodeKernels() {
+			k := newDecodeKernel(name, cfg)
+			attend := func() { k.AttendLayer(batch) }
+			for i := 0; i < 3; i++ {
+				attend() // warm up slot scratch and the quantized side-car
+			}
+			if allocs := testing.AllocsPerRun(100, attend); allocs != 0 {
+				t.Errorf("%s/%s: steady-state AttendLayer allocates %g times per call",
+					et.name, name, allocs)
+			}
 		}
 	}
 }

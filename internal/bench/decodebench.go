@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tokenpicker/internal/attention"
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
 	"tokenpicker/internal/spatten"
 	"tokenpicker/internal/tensor"
@@ -19,43 +20,68 @@ import (
 // context length stays within [ctx, ctx+decodeBenchSpan] during timing.
 const decodeBenchSpan = 256
 
+// defaultBenchHeads matches the pre-parallel harness geometry.
+const defaultBenchHeads = 4
+
 // opaqueRows hides everything but Row, in particular the quantized side-car.
 type opaqueRows struct{ src tensor.RowSource }
 
-func (o opaqueRows) Row(r int) []float32 { return o.src.Row(r) }
+func (o *opaqueRows) Row(r int) []float32 { return o.src.Row(r) }
 
 // scratchQuantKernel strips the side-car from the K/V sources before
 // delegating, forcing from-scratch O(context·dim) quantization on every
-// Attend — the pre-incremental behaviour of the attention kernels (for the
-// SpAtten kernel, an upper bound: it used to quantize surviving rows only),
-// kept runnable as the benchmark baseline and as the reference half of the
-// equivalence tests.
-type scratchQuantKernel struct{ inner model.Kernel }
+// attention call — the pre-incremental behaviour of the attention kernels
+// (for the SpAtten kernel, an upper bound: it used to quantize surviving
+// rows only), kept runnable as the benchmark baseline and as the reference
+// half of the equivalence tests. The per-head wrappers are reused across
+// calls so the wrapper itself adds no steady-state allocation.
+type scratchQuantKernel struct {
+	inner        model.Kernel
+	wrapK, wrapV []*opaqueRows
+	keys, vals   []tensor.RowSource
+}
 
-func (s scratchQuantKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	s.inner.Attend(out, q, opaqueRows{keys}, opaqueRows{vals}, n, scale, slope, layer, head)
+// AttendLayer implements model.Kernel.
+func (s *scratchQuantKernel) AttendLayer(b model.AttendBatch) {
+	for len(s.wrapK) < b.Heads {
+		s.wrapK = append(s.wrapK, &opaqueRows{})
+		s.wrapV = append(s.wrapV, &opaqueRows{})
+		s.keys = append(s.keys, nil)
+		s.vals = append(s.vals, nil)
+	}
+	for h := 0; h < b.Heads; h++ {
+		s.wrapK[h].src = b.Keys[h]
+		s.wrapV[h].src = b.Vals[h]
+		s.keys[h] = s.wrapK[h]
+		s.vals[h] = s.wrapV[h]
+	}
+	b.Keys, b.Vals = s.keys[:b.Heads], s.vals[:b.Heads]
+	s.inner.AttendLayer(b)
 }
 
 // ScratchQuant wraps k so it cannot see cache-owned quantized side-cars.
-func ScratchQuant(k model.Kernel) model.Kernel { return scratchQuantKernel{inner: k} }
+func ScratchQuant(k model.Kernel) model.Kernel { return &scratchQuantKernel{inner: k} }
 
 // DecodeKernels lists the kernels the decode-step benchmark covers.
 func DecodeKernels() []string {
 	return []string{"exact", "quantized-exact", "token-picker", "oracle", "spatten"}
 }
 
-// QuantizedDecodeKernels lists the kernels whose Attend quantizes the KV
+// QuantizedDecodeKernels lists the kernels whose attention quantizes the KV
 // cache — the ones with distinct incremental and scratch modes.
 func QuantizedDecodeKernels() []string {
 	return []string{"quantized-exact", "token-picker", "oracle", "spatten"}
 }
 
-func decodeBenchConfig(ctx int) model.Config {
+func decodeBenchConfig(ctx, heads int) model.Config {
+	if heads <= 0 {
+		heads = defaultBenchHeads
+	}
 	return model.Config{
 		Name:      "decode-bench",
 		VocabSize: 256,
 		Layers:    2,
-		Heads:     4,
+		Heads:     heads,
 		HeadDim:   32,
 		FFNMult:   2,
 		MaxSeq:    ctx + decodeBenchSpan + 1,
@@ -84,25 +110,38 @@ func newDecodeKernel(name string, cfg model.Config) model.Kernel {
 	}
 }
 
-// DecodeStepBench times generation-phase decode steps at a context of at
-// least ctx tokens. scratch selects the from-scratch quantization baseline.
-// The prompt refill when the window fills is excluded from the timing (and,
-// via StopTimer, from the allocation accounting).
-func DecodeStepBench(b *testing.B, kernel string, ctx int, scratch bool) {
-	cfg := decodeBenchConfig(ctx)
+// DecodeBenchSpec selects one decode-step benchmark variant.
+type DecodeBenchSpec struct {
+	Kernel  string
+	Context int // minimum context length during timing
+	Heads   int // 0 = the harness default (4)
+	Scratch bool
+	// Parallel is the head-executor width: <= 1 runs the serial executor,
+	// larger values run an exec.Pool of that width.
+	Parallel int
+}
+
+// DecodeStepBenchSpec times generation-phase decode steps for one spec. The
+// prompt refill when the window fills is excluded from the timing (and, via
+// StopTimer, from the allocation accounting).
+func DecodeStepBenchSpec(b *testing.B, spec DecodeBenchSpec) {
+	cfg := decodeBenchConfig(spec.Context, spec.Heads)
 	params := model.NewParams(cfg, 41)
-	prompt := make([]int, ctx)
+	ex := exec.New(spec.Parallel)
+	defer ex.Close()
+	prompt := make([]int, spec.Context)
 	for i := range prompt {
 		prompt[i] = (i*31 + 7) % cfg.VocabSize
 	}
 	mk := func() *model.Decoder {
-		k := newDecodeKernel(kernel, cfg)
-		if scratch {
+		k := newDecodeKernel(spec.Kernel, cfg)
+		if spec.Scratch {
 			k = ScratchQuant(k)
 		}
 		// Fresh kernel per refill: the SpAtten cascade accumulates
 		// per-sequence importance and must restart with its sequence.
 		dec := model.NewDecoder(params, k)
+		dec.Exec = ex
 		dec.MustPrompt(prompt)
 		return dec
 	}
@@ -119,11 +158,19 @@ func DecodeStepBench(b *testing.B, kernel string, ctx int, scratch bool) {
 	}
 }
 
+// DecodeStepBench times decode steps at the default head count with the
+// serial executor (the pre-parallel harness entry point).
+func DecodeStepBench(b *testing.B, kernel string, ctx int, scratch bool) {
+	DecodeStepBenchSpec(b, DecodeBenchSpec{Kernel: kernel, Context: ctx, Scratch: scratch})
+}
+
 // DecodeStepResult is one row of the persisted perf trajectory.
 type DecodeStepResult struct {
 	Kernel       string  `json:"kernel"`
 	Context      int     `json:"context"`
-	Mode         string  `json:"mode"` // "incremental" or "scratch"
+	Heads        int     `json:"heads"`
+	Parallel     int     `json:"parallel"` // executor width (1 = serial)
+	Mode         string  `json:"mode"`     // "incremental" or "scratch"
 	Iterations   int     `json:"iterations"`
 	NsPerToken   float64 `json:"ns_per_token"`
 	TokensPerSec float64 `json:"tokens_per_sec"`
@@ -131,20 +178,30 @@ type DecodeStepResult struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 }
 
-// RunDecodeStep executes the decode-step benchmark standalone (outside `go
-// test`) and returns the measured row.
-func RunDecodeStep(kernel string, ctx int, scratch bool) DecodeStepResult {
+// RunDecodeStepSpec executes one decode-step benchmark standalone (outside
+// `go test`) and returns the measured row.
+func RunDecodeStepSpec(spec DecodeBenchSpec) DecodeStepResult {
 	r := testing.Benchmark(func(b *testing.B) {
-		DecodeStepBench(b, kernel, ctx, scratch)
+		DecodeStepBenchSpec(b, spec)
 	})
 	mode := "incremental"
-	if scratch {
+	if spec.Scratch {
 		mode = "scratch"
+	}
+	heads := spec.Heads
+	if heads <= 0 {
+		heads = defaultBenchHeads
+	}
+	parallel := spec.Parallel
+	if parallel <= 1 {
+		parallel = 1
 	}
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	return DecodeStepResult{
-		Kernel:       kernel,
-		Context:      ctx,
+		Kernel:       spec.Kernel,
+		Context:      spec.Context,
+		Heads:        heads,
+		Parallel:     parallel,
 		Mode:         mode,
 		Iterations:   r.N,
 		NsPerToken:   ns,
@@ -152,4 +209,9 @@ func RunDecodeStep(kernel string, ctx int, scratch bool) DecodeStepResult {
 		AllocsPerOp:  r.AllocsPerOp(),
 		BytesPerOp:   r.AllocedBytesPerOp(),
 	}
+}
+
+// RunDecodeStep executes the default-geometry serial benchmark.
+func RunDecodeStep(kernel string, ctx int, scratch bool) DecodeStepResult {
+	return RunDecodeStepSpec(DecodeBenchSpec{Kernel: kernel, Context: ctx, Scratch: scratch})
 }

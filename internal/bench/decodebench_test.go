@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -21,6 +22,28 @@ func BenchmarkDecodeStep(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/ctx=%d/scratch", kernel, ctx), func(b *testing.B) {
 				DecodeStepBench(b, kernel, ctx, true)
 			})
+		}
+	}
+}
+
+// BenchmarkDecodeStepParallel measures the head-parallel pool executor
+// against serial execution at the wider head counts the executor targets.
+// cmd/topick-bench persists the same arm into BENCH_decode.json.
+func BenchmarkDecodeStepParallel(b *testing.B) {
+	width := runtime.NumCPU()
+	if width < 2 {
+		width = 2 // still exercise a real pool; measures overhead on 1 CPU
+	}
+	for _, kernel := range DecodeKernels() {
+		for _, heads := range []int{8, 16} {
+			for _, par := range []int{1, width} {
+				name := fmt.Sprintf("%s/heads=%d/pool=%d", kernel, heads, par)
+				b.Run(name, func(b *testing.B) {
+					DecodeStepBenchSpec(b, DecodeBenchSpec{
+						Kernel: kernel, Context: 512, Heads: heads, Parallel: par,
+					})
+				})
+			}
 		}
 	}
 }

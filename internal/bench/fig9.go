@@ -48,31 +48,31 @@ func Fig9(opts Options, splits []Fig9Split, budget float64) (*Table, []Fig9Row) 
 		}
 
 		baseK := attention.NewQuantizedExact()
-		evalRun(r, baseK, sp.Prompt, gen)
+		evalRun(r, baseK, sp.Prompt, gen, opts.Parallel)
 		baseBytes := baseK.Stats().KBytes + baseK.Stats().VBytes
 
 		spCfg := spatten.Config{
 			KeepRatio: 0.5, MinKeep: 8,
 			Layers: cfg.Layers, Heads: cfg.Heads, Cascade: false, Bits: 12,
 		}
-		keep := CalibrateKeepRatio(r, spCfg, sp.Prompt, gen, budget)
+		keep := CalibrateKeepRatio(r, spCfg, sp.Prompt, gen, budget, opts.Parallel)
 		spCfg.KeepRatio = keep
 		spK := spatten.New(spCfg)
-		evalRun(r, spK, sp.Prompt, gen)
+		evalRun(r, spK, sp.Prompt, gen, opts.Parallel)
 		spBytes := spK.Stats().KBytes + spK.Stats().VBytes
 
 		// Starred variant: cascade schedule, calibrated with a widened
 		// budget standing in for fine-tuned recovery.
 		starCfg := spCfg
 		starCfg.Cascade = true
-		keepStar := CalibrateKeepRatio(r, starCfg, sp.Prompt, gen, budget*2)
+		keepStar := CalibrateKeepRatio(r, starCfg, sp.Prompt, gen, budget*2, opts.Parallel)
 		starCfg.KeepRatio = keepStar
 		starK := spatten.New(starCfg)
-		evalRun(r, starK, sp.Prompt, gen)
+		evalRun(r, starK, sp.Prompt, gen, opts.Parallel)
 		starBytes := starK.Stats().KBytes + starK.Stats().VBytes
 
 		tpK := attention.NewTokenPicker(opts.ThrToPick05)
-		evalRun(r, tpK, sp.Prompt, gen)
+		evalRun(r, tpK, sp.Prompt, gen, opts.Parallel)
 		tpBytes := tpK.Stats().KBytes + tpK.Stats().VBytes
 
 		row := Fig9Row{

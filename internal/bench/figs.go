@@ -154,10 +154,12 @@ type recordKernel struct {
 	captured []float32
 }
 
-func (rk *recordKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	rk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
-	if layer == rk.layer && head == rk.head {
-		rk.captured = model.Scores(q, keys, n, scale, slope)
+// AttendLayer implements model.Kernel.
+func (rk *recordKernel) AttendLayer(b model.AttendBatch) {
+	rk.inner.AttendLayer(b)
+	if b.Layer == rk.layer {
+		h := rk.head
+		rk.captured = model.Scores(b.HeadQ(h), b.Keys[h], b.N, b.Scale, b.Slopes[h])
 	}
 }
 
@@ -277,28 +279,32 @@ type heatmapKernel struct {
 	probs   []float32
 }
 
-func (hk *heatmapKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	hk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
+// AttendLayer implements model.Kernel.
+func (hk *heatmapKernel) AttendLayer(b model.AttendBatch) {
+	hk.inner.AttendLayer(b)
+	n := b.N
 	if n < hk.recent+2 {
 		return
 	}
-	scores := model.Scores(q, keys, n, scale, slope)
-	if cap(hk.probs) < n {
-		hk.probs = make([]float32, n)
+	for head := 0; head < b.Heads; head++ {
+		scores := model.Scores(b.HeadQ(head), b.Keys[head], n, b.Scale, b.Slopes[head])
+		if cap(hk.probs) < n {
+			hk.probs = make([]float32, n)
+		}
+		probs := hk.probs[:n]
+		tensor.Softmax(probs, scores)
+		idx := b.Layer*hk.heads + head
+		row := hk.sums[idx]
+		row[0] += float64(probs[0]) // first token
+		var mid float64
+		for i := 1; i < n-hk.recent; i++ {
+			mid += float64(probs[i])
+		}
+		row[1] += mid
+		hk.midToks[idx] += int64(n - hk.recent - 1)
+		for j := 0; j < hk.recent; j++ {
+			row[2+j] += float64(probs[n-hk.recent+j])
+		}
+		hk.counts[idx]++
 	}
-	probs := hk.probs[:n]
-	tensor.Softmax(probs, scores)
-	idx := layer*hk.heads + head
-	row := hk.sums[idx]
-	row[0] += float64(probs[0]) // first token
-	var mid float64
-	for i := 1; i < n-hk.recent; i++ {
-		mid += float64(probs[i])
-	}
-	row[1] += mid
-	hk.midToks[idx] += int64(n - hk.recent - 1)
-	for j := 0; j < hk.recent; j++ {
-		row[2+j] += float64(probs[n-hk.recent+j])
-	}
-	hk.counts[idx]++
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tokenpicker/internal/attention"
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
 	"tokenpicker/internal/serve"
 	"tokenpicker/internal/tensor"
@@ -21,6 +22,10 @@ type ServingOptions struct {
 	Workers   int     // server decode workers
 	BlockRows int     // KV pool granularity
 	Threshold float64 // Token-Picker pruning threshold
+	// HeadParallel is the per-worker intra-step head executor width used by
+	// BOTH arms (the serialized baseline gets the same executor on its one
+	// decoder), so the comparison isolates continuous batching.
+	HeadParallel int
 }
 
 // DefaultServingOptions returns the profile used by cmd/topick-serve and the
@@ -89,6 +94,9 @@ func CompareServing(r *train.Result, o ServingOptions) ServingResult {
 	// Serialized baseline: one decoder, sessions back to back.
 	kernel := attention.NewTokenPicker(o.Threshold)
 	dec := model.NewDecoder(r.Params, kernel)
+	ex := exec.New(o.HeadParallel)
+	defer ex.Close()
+	dec.Exec = ex
 	start := time.Now()
 	var serialToks int64
 	var serialTTFT float64
@@ -116,9 +124,10 @@ func CompareServing(r *train.Result, o ServingOptions) ServingResult {
 
 	// Continuous batching: all sessions in flight at once.
 	srv := serve.NewServer(r.Params, serve.Config{
-		Workers:   o.Workers,
-		BlockRows: o.BlockRows,
-		NewKernel: func() model.Kernel { return attention.NewTokenPicker(o.Threshold) },
+		Workers:      o.Workers,
+		BlockRows:    o.BlockRows,
+		HeadParallel: o.HeadParallel,
+		NewKernel:    func() model.Kernel { return attention.NewTokenPicker(o.Threshold) },
 	})
 	start = time.Now()
 	streams := make([]*serve.Stream, len(prompts))

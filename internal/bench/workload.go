@@ -6,6 +6,7 @@ import (
 
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/core"
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/model"
 	"tokenpicker/internal/sim/arch"
@@ -33,6 +34,11 @@ type Options struct {
 	// approaching 1024), which is longer than the PPL eval window.
 	TracePrompt int
 	TraceEval   int
+	// Parallel is the head-executor width used by the perplexity decodes
+	// (<= 1 serial; parallel execution is bit-identical, just faster on
+	// multi-core hosts). cmd/topick-experiments threads its -parallel flag
+	// here.
+	Parallel int
 }
 
 // Full returns the experiment scale used by cmd/topick-experiments and the
@@ -77,15 +83,20 @@ func FromEnv() Options {
 }
 
 // evalRun decodes the held-out stream through the given kernel and returns
-// perplexity; kernel statistics accumulate inside the kernel.
-func evalRun(r *train.Result, kernel model.Kernel, promptLen, evalTokens int) float64 {
+// perplexity; kernel statistics accumulate inside the kernel. parallel is
+// the head-executor width (<= 1 serial); the choice never changes a logit
+// bit, only the wall clock.
+func evalRun(r *train.Result, kernel model.Kernel, promptLen, evalTokens, parallel int) float64 {
 	tokens := r.Held
 	need := promptLen + evalTokens + 1
 	if len(tokens) < need {
 		need = len(tokens)
 	}
 	tokens = tokens[:need]
+	ex := exec.New(parallel)
+	defer ex.Close()
 	dec := model.NewDecoder(r.Params, kernel)
+	dec.Exec = ex
 	dec.MustPrompt(tokens[:promptLen])
 	var nll float64
 	n := 0
@@ -116,13 +127,15 @@ type statKernel interface {
 // CalibrateThreshold bisects the Token-Picker threshold until held-out
 // perplexity degrades by about budget over the quantized-exact baseline.
 // Coarse by design (the paper tunes thresholds offline the same way).
-func CalibrateThreshold(r *train.Result, promptLen, evalTokens int, budget float64) float64 {
-	base := evalRun(r, attention.NewQuantizedExact(), promptLen, evalTokens)
+// parallel is the head-executor width of the eval decodes (<= 1 serial);
+// it cannot change the calibration result, only its wall clock.
+func CalibrateThreshold(r *train.Result, promptLen, evalTokens int, budget float64, parallel int) float64 {
+	base := evalRun(r, attention.NewQuantizedExact(), promptLen, evalTokens, parallel)
 	lo, hi := 1e-6, 0.2
 	best := lo
 	for iter := 0; iter < 7; iter++ {
 		mid := math.Sqrt(lo * hi) // geometric bisection
-		ppl := evalRun(r, attention.NewTokenPicker(mid), promptLen, evalTokens)
+		ppl := evalRun(r, attention.NewTokenPicker(mid), promptLen, evalTokens, parallel)
 		if ppl-base <= budget {
 			best = mid
 			lo = mid
@@ -133,16 +146,17 @@ func CalibrateThreshold(r *train.Result, promptLen, evalTokens int, budget float
 	return best
 }
 
-// CalibrateKeepRatio bisects the SpAtten keep ratio to the same budget.
-func CalibrateKeepRatio(r *train.Result, cfg spatten.Config, promptLen, evalTokens int, budget float64) float64 {
-	base := evalRun(r, attention.NewQuantizedExact(), promptLen, evalTokens)
+// CalibrateKeepRatio bisects the SpAtten keep ratio to the same budget,
+// with the same parallel semantics as CalibrateThreshold.
+func CalibrateKeepRatio(r *train.Result, cfg spatten.Config, promptLen, evalTokens int, budget float64, parallel int) float64 {
+	base := evalRun(r, attention.NewQuantizedExact(), promptLen, evalTokens, parallel)
 	lo, hi := 0.02, 1.0
 	best := hi
 	for iter := 0; iter < 6; iter++ {
 		mid := (lo + hi) / 2
 		c := cfg
 		c.KeepRatio = mid
-		ppl := evalRun(r, spatten.New(c), promptLen, evalTokens)
+		ppl := evalRun(r, spatten.New(c), promptLen, evalTokens, parallel)
 		if ppl-base <= budget {
 			best = mid
 			hi = mid
@@ -163,38 +177,43 @@ type traceKernel struct {
 	Instances []arch.Instance
 }
 
-func (tk *traceKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	tk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
-	tk.calls++
-	if len(tk.Instances) >= tk.max || tk.calls%tk.sample != 0 || n < 8 {
-		return
-	}
-	dim := len(q)
-	var maxMag float32
-	for i := 0; i < n; i++ {
-		if v := tensor.MaxAbs(keys.Row(i)[:dim]); v > maxMag {
-			maxMag = v
+// AttendLayer implements model.Kernel: exact attention for the whole layer,
+// then per-head sampling at the cadence the per-head harness used.
+func (tk *traceKernel) AttendLayer(b model.AttendBatch) {
+	tk.inner.AttendLayer(b)
+	n, dim := b.N, b.HeadDim
+	for h := 0; h < b.Heads; h++ {
+		tk.calls++
+		if len(tk.Instances) >= tk.max || tk.calls%tk.sample != 0 || n < 8 {
+			continue
 		}
+		q, keys := b.HeadQ(h), b.Keys[h]
+		var maxMag float32
+		for i := 0; i < n; i++ {
+			if v := tensor.MaxAbs(keys.Row(i)[:dim]); v > maxMag {
+				maxMag = v
+			}
+		}
+		kScale := fixed.ScaleFor(float64(maxMag), 12)
+		kRows := make([]fixed.Vector, n)
+		for i := 0; i < n; i++ {
+			kRows[i] = fixed.QuantizeWithScale(keys.Row(i)[:dim], 12, kScale).Data
+		}
+		bias := make([]float32, n)
+		for i := range bias {
+			bias[i] = -b.Slopes[h] * float32(n-1-i)
+		}
+		tk.Instances = append(tk.Instances, arch.Instance{
+			In: core.Inputs{
+				Q:      fixed.Quantize(q, 12),
+				K:      kRows,
+				KScale: kScale,
+				Scale:  float64(b.Scale),
+				Bias:   bias,
+			},
+			Dim: dim,
+		})
 	}
-	kScale := fixed.ScaleFor(float64(maxMag), 12)
-	kRows := make([]fixed.Vector, n)
-	for i := 0; i < n; i++ {
-		kRows[i] = fixed.QuantizeWithScale(keys.Row(i)[:dim], 12, kScale).Data
-	}
-	bias := make([]float32, n)
-	for i := range bias {
-		bias[i] = -slope * float32(n-1-i)
-	}
-	tk.Instances = append(tk.Instances, arch.Instance{
-		In: core.Inputs{
-			Q:      fixed.Quantize(q, 12),
-			K:      kRows,
-			KScale: kScale,
-			Scale:  float64(scale),
-			Bias:   bias,
-		},
-		Dim: dim,
-	})
 }
 
 // CaptureTraces decodes the held-out stream with exact attention and
@@ -207,7 +226,7 @@ func CaptureTraces(r *train.Result, opts Options) []arch.Instance {
 		prompt = len(r.Held) * 2 / 3
 		eval = len(r.Held) - prompt - 1
 	}
-	evalRun(r, tk, prompt, eval)
+	evalRun(r, tk, prompt, eval, 1)
 	return tk.Instances
 }
 

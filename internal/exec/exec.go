@@ -1,0 +1,238 @@
+// Package exec provides the intra-step execution strategies behind the
+// decoder's per-layer attention batches. A model.Kernel receives all heads
+// of one layer at once (model.AttendBatch) and schedules them on an
+// Executor: Serial runs heads inline (the reference order), Pool fans them
+// out over persistent workers with work-stealing, so a single decode step
+// uses every core the host offers instead of walking heads one at a time.
+//
+// The contract that keeps parallel execution bit-identical to serial: tasks
+// are independent (head h only writes head h's output slice and slot-private
+// scratch), so the schedule cannot reorder any floating-point reduction.
+// Cross-head state (SpAtten's importance table, transfer statistics) is
+// sharded per slot and merged deterministically by the kernel, never inside
+// the executor.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Tasks is one batch of independent tasks, indexed [0, n).
+type Tasks interface {
+	// Do executes task t using scratch slot slot. The executor guarantees
+	// calls sharing a slot never overlap in time, so per-slot scratch
+	// (quantization buffers, score arrays, stats shards) needs no locking.
+	Do(t, slot int)
+}
+
+// Executor schedules a batch of independent tasks over scratch slots.
+// Implementations are not goroutine-safe: one Run at a time per Executor,
+// like the decoder that drives it.
+type Executor interface {
+	// Width is the number of scratch slots callers must provision. Tasks
+	// only ever see slots in [0, Width()).
+	Width() int
+	// Run executes tasks 0..n-1 and returns once all have completed.
+	Run(n int, tasks Tasks)
+	// Close releases executor resources (worker goroutines). Run must not
+	// be called afterwards; Close is idempotent.
+	Close()
+}
+
+// Serial runs every task inline on slot 0 — the reference executor, and the
+// zero-overhead choice when the host has one core or the batch is tiny.
+type Serial struct{}
+
+// Width implements Executor.
+func (Serial) Width() int { return 1 }
+
+// Run implements Executor.
+func (Serial) Run(n int, tasks Tasks) {
+	for i := 0; i < n; i++ {
+		tasks.Do(i, 0)
+	}
+}
+
+// Close implements Executor.
+func (Serial) Close() {}
+
+// New returns Serial for width <= 1, else a Pool of the given width.
+func New(width int) Executor {
+	if width <= 1 {
+		return Serial{}
+	}
+	return NewPool(width)
+}
+
+// ResolveWidth maps a -parallel flag value to an executor width: 0 means
+// one slot per CPU, anything else is taken literally.
+func ResolveWidth(flag int) int {
+	if flag == 0 {
+		return runtime.NumCPU()
+	}
+	return flag
+}
+
+// span is a [lo, hi) range of pending task indices packed into one atomic
+// word (hi<<32 | lo). The owning slot takes from the front, thieves take
+// from the back, and a CAS arbitrates the last element.
+type span struct{ state atomic.Uint64 }
+
+func pack(lo, hi uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
+
+func (s *span) reset(lo, hi int) { s.state.Store(pack(uint32(lo), uint32(hi))) }
+
+// take claims the front element (owner side).
+func (s *span) take() (int, bool) {
+	for {
+		st := s.state.Load()
+		lo, hi := uint32(st), uint32(st>>32)
+		if lo >= hi {
+			return 0, false
+		}
+		if s.state.CompareAndSwap(st, pack(lo+1, hi)) {
+			return int(lo), true
+		}
+	}
+}
+
+// steal claims the back element (thief side).
+func (s *span) steal() (int, bool) {
+	for {
+		st := s.state.Load()
+		lo, hi := uint32(st), uint32(st>>32)
+		if lo >= hi {
+			return 0, false
+		}
+		if s.state.CompareAndSwap(st, pack(lo, hi-1)) {
+			return int(hi - 1), true
+		}
+	}
+}
+
+// Pool executes batches on width persistent scratch slots: the caller works
+// slot 0 and width-1 resident goroutines work the rest. Each Run splits the
+// task range into one contiguous chunk per participating slot; a slot drains
+// its own chunk from the front and then steals from the other chunks' backs,
+// so an expensive straggler task (one head with many surviving tokens) never
+// idles the rest of the machine. Run performs no allocation in steady state,
+// preserving the decode hot path's zero-alloc guarantee.
+type Pool struct {
+	width int
+	spans []span
+	wakes []chan struct{} // one per resident worker (slots 1..width-1)
+	wg    sync.WaitGroup  // per-batch participation of the resident workers
+	once  sync.Once       // Close
+
+	// Current batch, written by Run before the wake sends (the channel
+	// send/receive pair publishes them to the workers).
+	tasks Tasks
+	parts int
+}
+
+// NewPool starts a pool executor of the given width (clamped to >= 1).
+func NewPool(width int) *Pool {
+	if width < 1 {
+		width = 1
+	}
+	p := &Pool{
+		width: width,
+		spans: make([]span, width),
+		wakes: make([]chan struct{}, width-1),
+	}
+	for i := range p.wakes {
+		p.wakes[i] = make(chan struct{}, 1)
+		go p.work(i + 1)
+	}
+	return p
+}
+
+// Width implements Executor.
+func (p *Pool) Width() int { return p.width }
+
+// Run implements Executor.
+func (p *Pool) Run(n int, tasks Tasks) {
+	parts := p.width
+	if n < parts {
+		parts = n
+	}
+	if parts <= 1 {
+		Serial{}.Run(n, tasks)
+		return
+	}
+	p.tasks = tasks
+	p.parts = parts
+	chunk, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		p.spans[i].reset(lo, hi)
+		lo = hi
+	}
+	// Workers check out (wg.Done) only after they can find no more work and
+	// every task they claimed has finished, so Wait returning means the
+	// whole batch completed and no worker will touch the spans again until
+	// the next wake.
+	p.wg.Add(parts - 1)
+	for i := 0; i < parts-1; i++ {
+		p.wakes[i] <- struct{}{}
+	}
+	p.participate(0)
+	p.wg.Wait()
+	// Drop the batch reference: an idle long-lived pool must not pin the
+	// last caller's kernel and its captured buffers.
+	p.tasks = nil
+}
+
+// work is the resident loop of slot (>= 1): park on the wake channel, run
+// one batch, check out, repeat until Close.
+func (p *Pool) work(slot int) {
+	for range p.wakes[slot-1] {
+		p.participate(slot)
+		p.wg.Done()
+	}
+}
+
+// participate drains the slot's own chunk front-to-back, then steals from
+// the other participants' backs until the batch is dry.
+func (p *Pool) participate(slot int) {
+	tasks := p.tasks
+	for {
+		t, ok := p.spans[slot].take()
+		if !ok {
+			break
+		}
+		tasks.Do(t, slot)
+	}
+	for {
+		idle := true
+		for v := 1; v < p.parts; v++ {
+			victim := slot + v
+			if victim >= p.parts {
+				victim -= p.parts
+			}
+			if t, ok := p.spans[victim].steal(); ok {
+				tasks.Do(t, slot)
+				idle = false
+			}
+		}
+		if idle {
+			return
+		}
+	}
+}
+
+// Close implements Executor: stops the resident workers. Must not be called
+// while a Run is in flight.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for _, w := range p.wakes {
+			close(w)
+		}
+	})
+}

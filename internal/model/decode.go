@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/tensor"
 )
@@ -14,34 +15,131 @@ import (
 // instead of crashing a worker.
 var ErrContextFull = errors.New("model: context full")
 
-// Kernel computes one attention head's output for a single decode query.
+// AttendBatch is one layer's attention work: every head's query/output slice
+// plus its KV row sources, with the metadata the heads share. Heads are
+// independent — head h reads HeadQ(h)/Keys[h]/Vals[h] and writes HeadOut(h)
+// only — so a kernel may run them in any order or in parallel on Exec
+// without changing a single output bit.
+type AttendBatch struct {
+	Layer   int // layer index (kernels with per-layer state key on it)
+	N       int // valid context rows; the query is position N-1
+	Heads   int
+	HeadDim int
+	Scale   float32   // score scale, 1/sqrt(HeadDim)
+	Slopes  []float32 // per-head ALiBi slope: raw score_i -= Slopes[h]*(N-1-i)
+	// Q and Out are packed head-major: head h owns [h*HeadDim, (h+1)*HeadDim).
+	Q, Out []float32
+	// Keys and Vals hold each head's KV cache view; rows beyond N are stale.
+	Keys, Vals []tensor.RowSource
+	// Exec schedules the heads; nil means serial. Kernels must route every
+	// head through Run so the executor choice is honoured.
+	Exec exec.Executor
+}
+
+// HeadQ returns head h's query slice.
+func (b *AttendBatch) HeadQ(h int) []float32 {
+	return b.Q[h*b.HeadDim : (h+1)*b.HeadDim]
+}
+
+// HeadOut returns head h's output slice.
+func (b *AttendBatch) HeadOut(h int) []float32 {
+	return b.Out[h*b.HeadDim : (h+1)*b.HeadDim]
+}
+
+// Width returns the number of scratch slots the batch's executor may use.
+func (b *AttendBatch) Width() int {
+	if b.Exec == nil {
+		return 1
+	}
+	return b.Exec.Width()
+}
+
+// Run schedules one task per head on the batch's executor.
+func (b *AttendBatch) Run(tasks exec.Tasks) {
+	if b.Exec == nil {
+		exec.Serial{}.Run(b.Heads, tasks)
+		return
+	}
+	b.Exec.Run(b.Heads, tasks)
+}
+
+// Kernel computes one layer's attention for a single decode query.
 // Implementations range from exact softmax to the Token-Picker estimator.
 //
-// keys and vals hold n valid rows of HeadDim columns (rows beyond n are
-// stale). The raw score for key i is scale*dot(q, keys[i]) - slope*(n-1-i)
-// (the subtrahend is the ALiBi recency bias; the query is always the newest
-// position n-1). The kernel writes the weighted value sum into out.
+// AttendLayer receives the whole layer as a batch and must produce, for each
+// head, exactly the output a head-at-a-time serial evaluation would: per-head
+// work goes through batch.Run so the configured executor can spread heads
+// over cores, per-slot scratch keeps concurrent heads from sharing mutable
+// state, and any cross-head accumulation (statistics, SpAtten importance)
+// is sharded per slot or merged in deterministic head order.
 type Kernel interface {
-	Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int)
+	AttendLayer(batch AttendBatch)
+}
+
+// AttendOne runs a single-head attention instance through k: a one-head
+// batch on the serial executor. Tests and experiment probes use it; the
+// decoder always submits whole layers.
+func AttendOne(k Kernel, out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer int) {
+	k.AttendLayer(AttendBatch{
+		Layer:   layer,
+		N:       n,
+		Heads:   1,
+		HeadDim: len(q),
+		Scale:   scale,
+		Slopes:  []float32{slope},
+		Q:       q,
+		Out:     out,
+		Keys:    []tensor.RowSource{keys},
+		Vals:    []tensor.RowSource{vals},
+	})
 }
 
 // ExactKernel is the reference full-softmax attention used during the prompt
 // phase and by the float baseline.
 type ExactKernel struct {
-	scores []float32 // scratch
-	probs  []float32 // scratch
+	slots  []exactSlot
+	runner exactRunner
 }
 
-// Attend implements Kernel with exact float32 softmax attention.
-func (k *ExactKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	if cap(k.scores) < n {
-		k.scores = make([]float32, n)
-		k.probs = make([]float32, n)
+// exactSlot is one executor slot's scratch.
+type exactSlot struct {
+	scores []float32
+	probs  []float32
+}
+
+// exactRunner adapts the kernel to exec.Tasks without per-call allocation.
+type exactRunner struct {
+	k *ExactKernel
+	b AttendBatch
+}
+
+// Do implements exec.Tasks.
+func (r *exactRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
+
+// AttendLayer implements Kernel with exact float32 softmax attention.
+func (k *ExactKernel) AttendLayer(batch AttendBatch) {
+	for len(k.slots) < batch.Width() {
+		k.slots = append(k.slots, exactSlot{})
 	}
-	scores := k.scores[:n]
-	probs := k.probs[:n]
+	k.runner.k = k
+	k.runner.b = batch
+	batch.Run(&k.runner)
+}
+
+func (k *ExactKernel) attendHead(b *AttendBatch, h, slot int) {
+	s := &k.slots[slot]
+	n := b.N
+	if cap(s.scores) < n {
+		s.scores = make([]float32, n)
+		s.probs = make([]float32, n)
+	}
+	scores := s.scores[:n]
+	probs := s.probs[:n]
+	q, out := b.HeadQ(h), b.HeadOut(h)
+	keys, vals := b.Keys[h], b.Vals[h]
+	slope := b.Slopes[h]
 	for i := 0; i < n; i++ {
-		scores[i] = scale*tensor.Dot(q, keys.Row(i)[:len(q)]) - slope*float32(n-1-i)
+		scores[i] = b.Scale*tensor.Dot(q, keys.Row(i)[:len(q)]) - slope*float32(n-1-i)
 	}
 	tensor.Softmax(probs, scores)
 	for j := range out {
@@ -163,13 +261,23 @@ type headCache struct {
 //
 // A Decoder is not goroutine-safe: it carries mutable scratch and so do the
 // kernels plugged into it. Concurrent sessions each need their own Decoder
-// (sharing one read-only *Params is fine).
+// (sharing one read-only *Params is fine). The Exec field chooses the
+// intra-step executor the decoder hands to its kernels: nil or exec.Serial
+// walks heads in order, an exec.Pool runs the heads of each layer across
+// cores (prompt and generation phases alike) with bit-identical results.
 type Decoder struct {
 	P      *Params
 	Kernel Kernel
-	n      int // tokens consumed so far
+	Exec   exec.Executor // intra-step head executor; nil = serial
+	n      int           // tokens consumed so far
 	caches [][]headCache
 	exact  ExactKernel
+
+	// Per-layer KV views and per-head slopes, prebuilt so the per-step
+	// batch assembly allocates nothing.
+	keySrc [][]tensor.RowSource
+	valSrc [][]tensor.RowSource
+	slopes []float32
 
 	// scratch buffers
 	x, h, attnOut, tmp []float32
@@ -206,14 +314,24 @@ func NewDecoderWith(p *Params, kernel Kernel, prov CacheProvider) *Decoder {
 		logits:  make([]float32, p.Cfg.VocabSize),
 	}
 	dec.caches = make([][]headCache, p.Cfg.Layers)
+	dec.keySrc = make([][]tensor.RowSource, p.Cfg.Layers)
+	dec.valSrc = make([][]tensor.RowSource, p.Cfg.Layers)
 	for l := range dec.caches {
 		dec.caches[l] = make([]headCache, p.Cfg.Heads)
+		dec.keySrc[l] = make([]tensor.RowSource, p.Cfg.Heads)
+		dec.valSrc[l] = make([]tensor.RowSource, p.Cfg.Heads)
 		for h := range dec.caches[l] {
 			dec.caches[l][h] = headCache{
 				K: prov.NewKVCache(p.Cfg.MaxSeq, p.Cfg.HeadDim),
 				V: prov.NewKVCache(p.Cfg.MaxSeq, p.Cfg.HeadDim),
 			}
+			dec.keySrc[l][h] = dec.caches[l][h].K
+			dec.valSrc[l][h] = dec.caches[l][h].V
 		}
+	}
+	dec.slopes = make([]float32, p.Cfg.Heads)
+	for h := range dec.slopes {
+		dec.slopes[h] = p.Cfg.AlibiSlope(h)
 	}
 	return dec
 }
@@ -341,11 +459,19 @@ func (dec *Decoder) step(token int, kernel Kernel) ([]float32, error) {
 		for hIdx := 0; hIdx < cfg.Heads; hIdx++ {
 			copy(dec.caches[l][hIdx].V.Row(pos), dec.tmp[hIdx*hd:(hIdx+1)*hd])
 		}
-		for hIdx := 0; hIdx < cfg.Heads; hIdx++ {
-			c := dec.caches[l][hIdx]
-			kernel.Attend(dec.attnOut[hIdx*hd:(hIdx+1)*hd], dec.q[hIdx*hd:(hIdx+1)*hd],
-				c.K, c.V, pos+1, scale, cfg.AlibiSlope(hIdx), l, hIdx)
-		}
+		kernel.AttendLayer(AttendBatch{
+			Layer:   l,
+			N:       pos + 1,
+			Heads:   cfg.Heads,
+			HeadDim: hd,
+			Scale:   scale,
+			Slopes:  dec.slopes,
+			Q:       dec.q,
+			Out:     dec.attnOut,
+			Keys:    dec.keySrc[l],
+			Vals:    dec.valSrc[l],
+			Exec:    dec.Exec,
+		})
 		tensor.MatVec(dec.tmp, b.Wo, dec.attnOut)
 		tensor.Add(dec.tmp, dec.tmp, b.Bo)
 		tensor.Add(dec.x, dec.x, dec.tmp)

@@ -4,8 +4,6 @@ import (
 	"errors"
 	"math"
 	"testing"
-
-	"tokenpicker/internal/tensor"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -145,29 +143,44 @@ func TestKernelSeesGrowingContext(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		dec.MustStep(3)
 	}
-	// Prompt uses exact attention (kernel not called); generation calls it
-	// layers*heads times per step with n = 3, 4, 5, 6.
+	// Prompt uses exact attention (kernel not called); generation submits
+	// one layer batch per layer per step with n = 3, 4, 5, 6 and every
+	// head's sources populated.
 	cfg := p.Cfg
-	wantCalls := 4 * cfg.Layers * cfg.Heads
+	wantCalls := 4 * cfg.Layers
 	if len(probe.ns) != wantCalls {
 		t.Fatalf("kernel called %d times, want %d", len(probe.ns), wantCalls)
 	}
 	for i, n := range probe.ns {
-		step := i / (cfg.Layers * cfg.Heads)
+		step := i / cfg.Layers
 		if n != 3+step {
 			t.Fatalf("call %d saw context %d, want %d", i, n, 3+step)
 		}
 	}
+	if probe.minHeads != cfg.Heads {
+		t.Fatalf("batches carried %d heads, want %d", probe.minHeads, cfg.Heads)
+	}
 }
 
 type probeKernel struct {
-	inner ExactKernel
-	ns    []int
+	inner    ExactKernel
+	ns       []int
+	minHeads int
 }
 
-func (pk *probeKernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	pk.inner.Attend(out, q, keys, vals, n, scale, slope, layer, head)
-	pk.ns = append(pk.ns, n)
+func (pk *probeKernel) AttendLayer(b AttendBatch) {
+	pk.inner.AttendLayer(b)
+	pk.ns = append(pk.ns, b.N)
+	heads := len(b.Keys)
+	if len(b.Vals) < heads {
+		heads = len(b.Vals)
+	}
+	if heads != b.Heads {
+		heads = -1 // malformed batch; fails the head check
+	}
+	if pk.minHeads == 0 || heads < pk.minHeads {
+		pk.minHeads = heads
+	}
 }
 
 func TestScoresHelper(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"tokenpicker/internal/attention"
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
 	"tokenpicker/internal/tensor"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	// DefaultMaxNew applies when a request leaves MaxNewTokens zero
 	// (default 64).
 	DefaultMaxNew int
+	// HeadParallel is the intra-step head parallelism of each decode
+	// worker: the heads of one attention layer run on this many executor
+	// slots (1 = serial, the default; 0 is treated as 1). Every worker owns
+	// its own executor, so the process runs up to Workers*HeadParallel
+	// attention goroutines — size the product to the machine. Results are
+	// bit-identical to serial execution regardless of the setting.
+	HeadParallel int
 	// NewKernel builds one generation-phase attention kernel per worker;
 	// nil means exact attention. Because one worker's kernel serves many
 	// interleaved sessions, kernels must not carry state across Attend
@@ -100,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultMaxNew <= 0 {
 		c.DefaultMaxNew = 64
+	}
+	if c.HeadParallel <= 0 {
+		c.HeadParallel = 1
 	}
 	return c
 }
@@ -321,21 +332,25 @@ func (s *Server) Report() Report {
 	return r
 }
 
-// worker runs dispatch quanta until the scheduler closes. The kernel built
-// here is this goroutine's alone; sessions borrow it for the duration of a
-// quantum.
+// worker runs dispatch quanta until the scheduler closes. The kernel and
+// the head executor built here are this goroutine's alone; sessions borrow
+// them for the duration of a quantum (per-session state — the KV caches and
+// their quantized side-cars — travels with the session's decoder, so the
+// hand-off is safe).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	var kernel model.Kernel
 	if s.cfg.NewKernel != nil {
 		kernel = s.cfg.NewKernel()
 	}
+	ex := exec.New(s.cfg.HeadParallel)
+	defer ex.Close()
 	for {
 		sess, ok := s.sched.pop()
 		if !ok {
 			return
 		}
-		done := s.dispatch(sess, kernel)
+		done := s.dispatch(sess, kernel, ex)
 		if sk, ok := kernel.(statKernel); ok {
 			delta := sk.Stats()
 			sk.ResetStats()
@@ -352,12 +367,13 @@ func (s *Server) worker() {
 // dispatch advances one session by a single quantum: a prompt chunk while
 // the prompt is unconsumed, then Quantum generation steps. It reports
 // whether the session finished.
-func (s *Server) dispatch(sess *session, kernel model.Kernel) bool {
+func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) bool {
 	if err := sess.ctx.Err(); err != nil {
 		s.finish(sess, Result{Reason: ReasonCanceled, Err: err})
 		return true
 	}
 	sess.dec.Kernel = kernel
+	sess.dec.Exec = ex
 
 	if sess.promptPos < len(sess.req.Prompt) {
 		return s.prefill(sess)

@@ -28,6 +28,7 @@ import (
 
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/model"
 	"tokenpicker/internal/tensor"
 )
 
@@ -37,8 +38,8 @@ type Config struct {
 	KeepRatio float64
 	// MinKeep floors the kept-set size.
 	MinKeep int
-	// Layers and Heads describe the host model so the kernel can detect
-	// layer boundaries from the Attend call sequence.
+	// Layers and Heads describe the host model; the cascade schedule is a
+	// function of the layer count.
 	Layers, Heads int
 	// Cascade selects the geometric per-layer schedule (keep^(l+1)/L),
 	// which prunes earlier layers harder than the default linear ramp.
@@ -81,7 +82,14 @@ func (c Config) layerKeepFraction(l int) float64 {
 }
 
 // Kernel implements model.Kernel with cascade token pruning. It is stateful
-// across Attend calls: create a fresh kernel per generation.
+// across layers and decode steps: create a fresh kernel per generation.
+//
+// Parallel execution: the active-set rebuild runs once per layer before the
+// heads are scheduled, each head then works on slot-private scratch (scores,
+// probabilities, quantization fallback, stats shard), and the cumulative
+// importance update — the one cross-head reduction — is applied after the
+// batch in ascending head order, exactly the float-addition order of a
+// serial head walk. Pool execution is therefore bit-identical to serial.
 type Kernel struct {
 	cfg Config
 
@@ -89,20 +97,41 @@ type Kernel struct {
 	active     [][]int   // per layer: active cache rows, ascending
 	lastN      int
 
-	stats  attention.Stats
+	rank []int
+	mark []bool // kept-row marker reused by rebuildActive
+
+	heads  []headState // per head: probs retained for the importance merge
+	slots  []slotState // per executor slot: scratch + stats shard
+	runner spRunner
+}
+
+// headState is per-head (not per-slot): the probabilities feed the
+// deterministic post-batch importance merge, so every head needs its own.
+type headState struct {
 	scores []float32
 	probs  []float32
-	rank   []int
-	mark   []bool // kept-row marker reused by rebuildActive
+}
 
-	// Quantization state: fallback caches for bare row sources plus the
-	// quantized-query buffer. Decoder caches carry their own side-car, so
-	// the K/V cache is quantized incrementally at the shared cache-wide
-	// scale (the layout a pre-quantized KV store in DRAM would have)
-	// instead of re-quantizing the active rows on every call.
+// slotState is one executor slot's private scratch.
+//
+// Quantization state: fallback caches for bare row sources plus the
+// quantized-query buffer. Decoder caches carry their own side-car, so the
+// K/V cache is quantized incrementally at the shared cache-wide scale (the
+// layout a pre-quantized KV store in DRAM would have) instead of
+// re-quantizing the active rows on every call.
+type slotState struct {
 	qk, qv fixed.QuantCache
 	qq     fixed.Vector
+	stats  attention.Stats
 }
+
+type spRunner struct {
+	k *Kernel
+	b model.AttendBatch
+}
+
+// Do implements exec.Tasks.
+func (r *spRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
 
 // New creates a cascade pruning kernel. Panics on invalid config.
 func New(cfg Config) *Kernel {
@@ -112,11 +141,21 @@ func New(cfg Config) *Kernel {
 	return &Kernel{cfg: cfg, active: make([][]int, cfg.Layers)}
 }
 
-// Stats returns accumulated transfer statistics.
-func (k *Kernel) Stats() attention.Stats { return k.stats }
+// Stats returns transfer statistics merged across executor slots.
+func (k *Kernel) Stats() attention.Stats {
+	var merged attention.Stats
+	for i := range k.slots {
+		merged.Add(k.slots[i].stats)
+	}
+	return merged
+}
 
 // ResetStats clears statistics but keeps pruning state.
-func (k *Kernel) ResetStats() { k.stats = attention.Stats{} }
+func (k *Kernel) ResetStats() {
+	for i := range k.slots {
+		k.slots[i].stats = attention.Stats{}
+	}
+}
 
 // ActiveTokens returns a copy of the rows active at the given layer.
 func (k *Kernel) ActiveTokens(layer int) []int {
@@ -125,42 +164,67 @@ func (k *Kernel) ActiveTokens(layer int) []int {
 	return out
 }
 
-// Attend implements model.Kernel.
-func (k *Kernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, scale, slope float32, layer, head int) {
-	dim := len(q)
-	k.syncContext(n)
-	if head == 0 {
-		k.rebuildActive(layer, n)
+// AttendLayer implements model.Kernel.
+func (k *Kernel) AttendLayer(batch model.AttendBatch) {
+	k.syncContext(batch.N)
+	k.rebuildActive(batch.Layer, batch.N)
+	for len(k.heads) < batch.Heads {
+		k.heads = append(k.heads, headState{})
 	}
-	act := k.active[layer]
+	for len(k.slots) < batch.Width() {
+		k.slots = append(k.slots, slotState{})
+	}
+	k.runner.k = k
+	k.runner.b = batch
+	batch.Run(&k.runner)
 
-	if cap(k.scores) < len(act) {
-		k.scores = make([]float32, len(act)*2)
-		k.probs = make([]float32, len(act)*2)
+	// Cumulative importance, merged in ascending head order: the same
+	// float additions in the same order as a serial head loop, so the
+	// cascade's future active sets do not depend on the schedule.
+	act := k.active[batch.Layer]
+	for h := 0; h < batch.Heads; h++ {
+		probs := k.heads[h].probs[:len(act)]
+		for ai, row := range act {
+			k.importance[row] += float64(probs[ai])
+		}
 	}
-	scores := k.scores[:len(act)]
-	probs := k.probs[:len(act)]
+}
+
+func (k *Kernel) attendHead(b *model.AttendBatch, h, slot int) {
+	s := &k.slots[slot]
+	hs := &k.heads[h]
+	q, out := b.HeadQ(h), b.HeadOut(h)
+	keys, vals := b.Keys[h], b.Vals[h]
+	n, dim := b.N, b.HeadDim
+	slope := b.Slopes[h]
+	act := k.active[b.Layer]
+
+	if cap(hs.scores) < len(act) {
+		hs.scores = make([]float32, len(act)*2)
+		hs.probs = make([]float32, len(act)*2)
+	}
+	scores := hs.scores[:len(act)]
+	probs := hs.probs[:len(act)]
 
 	// Quantized scores over active rows only (SpAtten loads all surviving
 	// K). Rows come pre-quantized at the shared cache-wide scale from the
 	// incremental side-car; only the dot products are per-call work.
-	kRows, kScale := k.qk.SyncFor(keys, n, dim, k.cfg.Bits)
-	vRows, vScale := k.qv.SyncFor(vals, n, dim, k.cfg.Bits)
-	qqz := fixed.QuantizeInto(k.qq, q, k.cfg.Bits)
-	k.qq = qqz.Data
-	c := float64(scale) * qqz.Scale * kScale
+	kRows, kScale := s.qk.SyncFor(keys, n, dim, k.cfg.Bits)
+	vRows, vScale := s.qv.SyncFor(vals, n, dim, k.cfg.Bits)
+	qqz := fixed.QuantizeInto(s.qq, q, k.cfg.Bits)
+	s.qq = qqz.Data
+	c := float64(b.Scale) * qqz.Scale * kScale
 	for ai, row := range act {
 		scores[ai] = float32(c*float64(fixed.Dot(qqz.Data, kRows[row]))) -
 			slope*float32(n-1-row)
 	}
 	tensor.Softmax(probs, scores)
 
-	// Output and importance accumulation.
+	// Output only; the importance merge happens after the whole batch.
 	for j := range out {
 		out[j] = 0
 	}
 	for ai, row := range act {
-		k.importance[row] += float64(probs[ai])
 		p := probs[ai]
 		vRow := vRows[row]
 		for j := 0; j < dim; j++ {
@@ -171,13 +235,13 @@ func (k *Kernel) Attend(out, q []float32, keys, vals tensor.RowSource, n int, sc
 	// Traffic: K and V for every active row.
 	cs := fixed.ChunkSpec{TotalBits: k.cfg.Bits, ChunkBits: k.cfg.Bits}
 	vecBytes := int64(cs.VectorBytes(dim))
-	k.stats.Instances++
-	k.stats.Tokens += int64(n)
-	k.stats.Kept += int64(len(act))
-	k.stats.KBytes += int64(len(act)) * vecBytes
-	k.stats.VBytes += int64(len(act)) * vecBytes
-	k.stats.BaselineKBytes += int64(n) * vecBytes
-	k.stats.BaselineVBytes += int64(n) * vecBytes
+	s.stats.Instances++
+	s.stats.Tokens += int64(n)
+	s.stats.Kept += int64(len(act))
+	s.stats.KBytes += int64(len(act)) * vecBytes
+	s.stats.VBytes += int64(len(act)) * vecBytes
+	s.stats.BaselineKBytes += int64(n) * vecBytes
+	s.stats.BaselineVBytes += int64(n) * vecBytes
 }
 
 // syncContext grows the importance table when new rows appear.

@@ -48,6 +48,7 @@ import (
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/bench"
 	"tokenpicker/internal/core"
+	"tokenpicker/internal/exec"
 	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/model"
 	"tokenpicker/internal/serve"
@@ -80,8 +81,16 @@ type (
 	Params = model.Params
 	// Decoder runs KV-cached generation with a pluggable attention kernel.
 	Decoder = model.Decoder
-	// Kernel is the attention plug-in interface.
+	// Kernel is the attention plug-in interface: one layer per call
+	// (AttendLayer over an AttendBatch), heads scheduled on the batch's
+	// executor.
 	Kernel = model.Kernel
+	// AttendBatch carries one layer's attention work: all heads' query and
+	// output slices, per-head KV row sources, and shared metadata.
+	AttendBatch = model.AttendBatch
+	// Executor schedules the heads of an attention layer: Serial inline or
+	// a work-stealing pool across cores, with bit-identical results.
+	Executor = exec.Executor
 	// TrainResult couples trained weights with their corpus splits.
 	TrainResult = train.Result
 	// TrainOptions sizes a training run.
@@ -183,6 +192,18 @@ func NewSpAttenKernel(cfg SpAttenConfig) Kernel { return spatten.New(cfg) }
 
 // NewDecoder wraps model.NewDecoder.
 func NewDecoder(p *Params, k Kernel) *Decoder { return model.NewDecoder(p, k) }
+
+// NewExecutor builds an intra-step head executor: width <= 1 returns the
+// serial executor, larger widths a persistent work-stealing pool. Assign it
+// to Decoder.Exec (and Close it when done) to run the heads of every
+// attention layer in parallel; outputs stay bit-identical to serial. The
+// serving engine sizes its own per-worker executors via
+// ServeConfig.HeadParallel instead.
+func NewExecutor(width int) Executor { return exec.New(width) }
+
+// ResolveParallel maps a -parallel style flag to an executor width: 0 means
+// one slot per CPU, anything else is literal.
+func ResolveParallel(flag int) int { return exec.ResolveWidth(flag) }
 
 // NewDecoderWith builds a decoder whose KV caches come from the given
 // provider (e.g. a KVPool's Provider); nil means on-demand dense buffers.
