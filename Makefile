@@ -24,23 +24,25 @@ test:
 test-full:
 	$(GO) test -race ./...
 
-# Focused gate for the incremental quantized-KV cache and the head-parallel
-# executor: formatting, vet, build, the cache/kernel/executor/serving tests
-# under the race detector, the pool-vs-serial equivalence tests pinned to
-# one core and to every core (schedule diversity must never change a logit
-# bit), the parallel decode race test, then the steady-state allocation
-# guard without -race (race instrumentation skews alloc counts, so the
-# guard skips itself there).
+# Focused gate for the incremental quantized-KV cache, the head-parallel
+# executor, and the prefix-sharing CoW pool: formatting, vet, build, the
+# cache/kernel/executor/serving tests under the race detector, the
+# pool-vs-serial and shared-vs-dense equivalence tests pinned to one core
+# and to every core (schedule diversity must never change a logit bit),
+# the parallel decode race test and the preempt-requeue test, then the
+# steady-state allocation guard without -race (race instrumentation skews
+# alloc counts, so the guard skips itself there).
 check: fmt-check vet build
 	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/exec/ ./internal/serve/ ./internal/bench/
-	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar' ./internal/bench/ ./internal/attention/ ./internal/serve/
-	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar' ./internal/bench/ ./internal/attention/ ./internal/serve/
-	TOPICK_QUICK=1 $(GO) test -race -count=1 -run 'TestParallelDecodeRace|TestHeadParallel' ./internal/bench/ ./internal/serve/
+	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
+	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
+	TOPICK_QUICK=1 $(GO) test -race -count=1 -run 'TestParallelDecodeRace|TestHeadParallel|TestPreemptRequeueFinishes|TestSubmitCloseRace' ./internal/bench/ ./internal/serve/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run TestAttendSteadyStateZeroAllocs ./internal/bench/
 
 # Measured decode-step trajectory: writes BENCH_decode.json (ns/token,
-# tokens/s, allocs/op per kernel/context/mode) for future PRs to regress
-# against.
+# tokens/s, allocs/op per kernel/context/mode, plus the shared-prefix
+# serving arm: prefix-hit rate, TTFT with sharing on/off, prefill savings)
+# for future PRs to regress against.
 bench:
 	$(GO) run ./cmd/topick-bench -out BENCH_decode.json
 

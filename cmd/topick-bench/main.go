@@ -3,11 +3,14 @@
 // bodies as `go test -bench BenchmarkDecodeStep` through testing.Benchmark,
 // compares the incremental quantized-KV cache against the from-scratch
 // baseline and the head-parallel pool executor against serial execution,
-// and writes a JSON record future PRs regress against:
+// runs the shared-prefix serving arm (prefix-cache hit rate, TTFT, and
+// prefill compute with sharing on vs off), and writes a JSON record future
+// PRs regress against:
 //
 //	make bench            # writes BENCH_decode.json at the repo root
 //	go run ./cmd/topick-bench -contexts 128,512,1024 -out my.json
 //	go run ./cmd/topick-bench -parallel 8 -par-heads 8,16 -par-context 512
+//	go run ./cmd/topick-bench -serving=false    # skip the serving arm
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"tokenpicker/internal/bench"
 	"tokenpicker/internal/exec"
+	"tokenpicker/internal/train"
 )
 
 type report struct {
@@ -35,6 +39,24 @@ type report struct {
 	// "kernel/heads=H/ctx=N/pool=W" to serial-ns / pool-ns (the measured
 	// win of the head-parallel executor; ~1.0 on a single-core host).
 	Speedup map[string]float64 `json:"speedup"`
+	// Serving is the shared-prefix serving arm: prefix-cache hit rate,
+	// TTFT with sharing on/off, and the prefill compute saved.
+	Serving *servingRecord `json:"serving,omitempty"`
+}
+
+// servingRecord persists the shared-prefix serving comparison.
+type servingRecord struct {
+	Sessions           int     `json:"sessions"`
+	PrefixLen          int     `json:"prefix_len"`
+	PrefixHitRate      float64 `json:"prefix_hit_rate"`
+	RowsReused         int64   `json:"kv_rows_reused"`
+	TTFTSharedMs       float64 `json:"ttft_shared_ms"`
+	TTFTUnsharedMs     float64 `json:"ttft_unshared_ms"`
+	TTFTReduction      float64 `json:"ttft_reduction"`
+	PromptToksShared   int64   `json:"prefill_tokens_shared"`
+	PromptToksUnshared int64   `json:"prefill_tokens_unshared"`
+	PrefillSavings     float64 `json:"prefill_savings"`
+	TokensMatch        bool    `json:"tokens_match"`
 }
 
 func parseInts(s, flagName string) []int {
@@ -56,6 +78,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "pool-executor width for the head-parallel arm (0 = NumCPU)")
 	parHeads := flag.String("par-heads", "8,16", "head counts for the head-parallel arm")
 	parCtx := flag.Int("par-context", 512, "context length for the head-parallel arm")
+	serving := flag.Bool("serving", true, "also run the shared-prefix serving arm (trains the demo model)")
 	flag.Parse()
 
 	ctxs := parseInts(*contexts, "context")
@@ -135,6 +158,28 @@ func main() {
 
 	for key, s := range rep.Speedup {
 		fmt.Printf("speedup %-40s %.2fx\n", key, s)
+	}
+
+	// Arm 3: shared-prefix serving — prefix-cache hit rate, TTFT, and
+	// prefill compute with sharing on vs off.
+	if *serving {
+		fmt.Println("serving arm: training demo model...")
+		res := bench.ComparePrefixServing(train.TestModel(), bench.DefaultPrefixServingOptions())
+		rep.Serving = &servingRecord{
+			Sessions:           res.Sessions,
+			PrefixLen:          res.PrefixLen,
+			PrefixHitRate:      res.HitRate,
+			RowsReused:         res.RowsReused,
+			TTFTSharedMs:       res.SharedTTFT * 1e3,
+			TTFTUnsharedMs:     res.UnsharedTTFT * 1e3,
+			TTFTReduction:      res.TTFTReduction(),
+			PromptToksShared:   res.SharedPromptToks,
+			PromptToksUnshared: res.UnsharedPromptToks,
+			PrefillSavings:     res.PrefillSavings(),
+			TokensMatch:        res.TokensMatch,
+		}
+		fmt.Printf("serving: prefix hit rate %.0f%%, prefill %.1fx less, TTFT %.1fx lower, tokens match %v\n",
+			100*res.HitRate, res.PrefillSavings(), res.TTFTReduction(), res.TokensMatch)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

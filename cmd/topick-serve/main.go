@@ -2,12 +2,15 @@
 // it trains the demo model, fires a wave of concurrent mixed-length
 // generation requests through the scheduler with Token-Picker pruned
 // attention on every worker, and prints the fleet-wide throughput, pruning,
-// and KV-pool report. With -compare it also decodes the same traffic
-// serialized on a single decoder and prints the side-by-side table.
+// KV-pool, prefix-sharing, and preemption report. With -compare it also
+// decodes the same traffic serialized on a single decoder and runs a
+// shared-prefix fleet with sharing on vs off, printing both side-by-side
+// tables.
 //
 // Usage:
 //
 //	topick-serve -sessions 12 -workers 4 -max-new 48 -threshold 1e-3 -compare
+//	topick-serve -max-blocks 256 -max-preempts 4   # preempt under pool pressure
 package main
 
 import (
@@ -36,6 +39,9 @@ func main() {
 		temp      = flag.Float64("temperature", 0, "sampling temperature (0 = greedy)")
 		deadline  = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
 		compare   = flag.Bool("compare", false, "also run the serialized baseline")
+		share     = flag.Bool("share-prefix", true, "share cached prompt-prefix KV blocks across sessions")
+		maxBlocks = flag.Int("max-blocks", 0, "KV pool block budget (0 = unbounded; exhaustion preempts sessions)")
+		preempts  = flag.Int("max-preempts", 0, "per-session preemption budget (0 = default, negative = reject on exhaustion)")
 	)
 	flag.Parse()
 
@@ -59,6 +65,9 @@ func main() {
 		Workers:      *workers,
 		Quantum:      *quantum,
 		BlockRows:    *blockRows,
+		MaxBlocks:    *maxBlocks,
+		SharePrefix:  *share,
+		MaxPreempts:  *preempts,
 		HeadParallel: tokenpicker.ResolveParallel(*parallel),
 		NewKernel:    func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
 	})
@@ -126,6 +135,14 @@ func main() {
 	fmt.Printf("  K access reduction   : %.2fx, total KV reduction %.2fx\n",
 		rep.Attn.KReduction(), rep.Attn.TotalReduction())
 	fmt.Printf("  KV pool              : %s\n", rep.Pool)
+	if *share {
+		fmt.Printf("  prefix index         : %d chunks published, hit rate %.0f%%, %d KV rows reused (%d from tails)\n",
+			rep.Prefix.Published, 100*rep.Prefix.HitRate(), rep.Prefix.RowsReused, rep.Prefix.TailRows)
+	}
+	if rep.Preempted > 0 {
+		fmt.Printf("  preemptions          : %d (re-computed %d generated tokens)\n",
+			rep.Preempted, rep.RecomputeTokens)
+	}
 	eager := int64(*sessions) * int64(cfg.MaxSeq) * int64(cfg.Layers*cfg.Heads*2)
 	fmt.Printf("  vs eager allocation  : %d rows backed instead of %d (%.1fx less)\n",
 		rep.Pool.AllocatedRows(), eager, float64(eager)/float64(rep.Pool.AllocatedRows()))
@@ -139,5 +156,16 @@ func main() {
 			HeadParallel: tokenpicker.ResolveParallel(*parallel),
 		})
 		fmt.Println(bench.ServingTable(cmp).String())
+
+		// The wave above uses distinct prompts; the prefix-sharing win needs
+		// repeated prefixes (system prompts, chat history), so demo it on a
+		// shared-prefix fleet.
+		po := bench.DefaultPrefixServingOptions()
+		po.Sessions = *sessions
+		po.MaxNew = *maxNew
+		po.Workers = *workers
+		po.BlockRows = *blockRows
+		po.Threshold = *threshold
+		fmt.Println(bench.PrefixServingTable(bench.ComparePrefixServing(res, po)).String())
 	}
 }

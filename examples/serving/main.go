@@ -20,19 +20,25 @@ func main() {
 
 	// One pruning kernel per worker: kernels carry scratch buffers and are
 	// not goroutine-safe, so the server asks for a factory instead of an
-	// instance.
+	// instance. SharePrefix turns on the prompt-prefix cache: sessions whose
+	// prompts repeat a published prefix (the shared system prompt below)
+	// adopt its KV blocks read-only instead of re-running prefill over them.
 	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
-		Workers:   4,
-		BlockRows: 32, // KV pool granularity: 32 context rows per block
-		NewKernel: func() tokenpicker.Kernel { return tokenpicker.NewKernel(1e-3) },
+		Workers:     4,
+		BlockRows:   32, // KV pool granularity: 32 context rows per block
+		SharePrefix: true,
+		NewKernel:   func() tokenpicker.Kernel { return tokenpicker.NewKernel(1e-3) },
 	})
 
-	// Eight sessions with different prompts and lengths, all in flight at
-	// once. Submit never blocks on decoding; tokens stream back per session.
+	// Eight sessions sharing a 64-token "system prompt" plus a distinct
+	// request tail. Submit never blocks on decoding; tokens stream back per
+	// session. The first session's prefill publishes the shared prefix;
+	// waiting for its first token before firing the rest guarantees the
+	// followers adopt the cached KV blocks instead of racing the publisher.
 	const sessions = 8
-	streams := make([]*tokenpicker.ServeStream, sessions)
-	for i := range streams {
-		prompt := res.Held[i*24 : i*24+32+4*i]
+	system := res.Held[:64]
+	submit := func(i int) *tokenpicker.ServeStream {
+		prompt := append(append([]int(nil), system...), res.Held[80+i*24:96+i*24]...)
 		st, err := srv.Submit(context.Background(), tokenpicker.ServeRequest{
 			Prompt:       prompt,
 			MaxNewTokens: 32,
@@ -42,13 +48,22 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		streams[i] = st
+		return st
+	}
+	streams := make([]*tokenpicker.ServeStream, sessions)
+	streams[0] = submit(0)
+	first, ok := <-streams[0].Tokens // prefix published at first-token time
+	for i := 1; i < sessions; i++ {
+		streams[i] = submit(i)
 	}
 
 	fmt.Println("Token-Picker serving walkthrough")
 	fmt.Println("================================")
 	for i, st := range streams {
 		var toks []int
+		if i == 0 && ok {
+			toks = append(toks, first) // consumed above to await publication
+		}
 		for tok := range st.Tokens { // closed when the session finishes
 			toks = append(toks, tok)
 		}
@@ -63,6 +78,8 @@ func main() {
 	fmt.Printf("pruning ratio %.2fx, total KV-transfer reduction %.2fx\n",
 		rep.Attn.PruningRatio(), rep.Attn.TotalReduction())
 	fmt.Printf("kv pool: %s\n", rep.Pool)
+	fmt.Printf("prefix cache: hit rate %.0f%%, %d KV rows adopted instead of re-prefilled\n",
+		100*rep.Prefix.HitRate(), rep.Prefix.RowsReused)
 	cfg := res.Params.Cfg
 	eager := int64(sessions) * int64(cfg.MaxSeq) * int64(cfg.Layers*cfg.Heads*2)
 	fmt.Printf("block paging backed %d rows; eager per-session allocation would back %d\n",

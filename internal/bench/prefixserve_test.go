@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"tokenpicker/internal/train"
+)
+
+// TestComparePrefixServing checks the acceptance criteria of the
+// shared-prefix workload: sharing must cut the prefill compute (fewer
+// prompt tokens actually executed), reuse KV rows with a perfect hit rate
+// for identical-prefix followers, and leave every generated token
+// bit-identical; the pool's refcounts must balance to zero after drain.
+func TestComparePrefixServing(t *testing.T) {
+	r := train.TestModel()
+	o := DefaultPrefixServingOptions()
+	o.Sessions = 5
+	o.MaxNew = 12
+	res := ComparePrefixServing(r, o)
+
+	if !res.TokensMatch {
+		t.Fatal("prefix sharing changed generated tokens")
+	}
+	if res.SharedPromptToks >= res.UnsharedPromptToks {
+		t.Fatalf("sharing did not reduce prefill compute: %d vs %d tokens",
+			res.SharedPromptToks, res.UnsharedPromptToks)
+	}
+	if res.RowsReused == 0 {
+		t.Fatalf("no KV rows reused: %+v", res.Report.Prefix)
+	}
+	// Every follower (sessions 1..N-1) must hit the published prefix.
+	if want := float64(o.Sessions-1) / float64(o.Sessions); res.HitRate < want {
+		t.Fatalf("hit rate %.2f, want >= %.2f", res.HitRate, want)
+	}
+	if st := res.Report.Pool; st.InUse != 0 {
+		t.Fatalf("%d blocks still referenced after drain", st.InUse)
+	}
+	// The savings should be substantial: each follower adopts the whole
+	// shared prefix, so the sharing arm prefils roughly Sessions x fewer
+	// prompt tokens than the full-prefill arm.
+	if res.PrefillSavings() < 2 {
+		t.Fatalf("prefill savings %.2fx, want >= 2x", res.PrefillSavings())
+	}
+}

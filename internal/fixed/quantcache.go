@@ -1,6 +1,8 @@
 package fixed
 
 import (
+	"sync"
+
 	"tokenpicker/internal/tensor"
 )
 
@@ -37,6 +39,15 @@ type QuantCache struct {
 	back   []int16
 	rows   []Vector
 
+	// Adopted read-only prefix (prefix-sharing serving path): rows
+	// [0, shared) of the memo are served straight from base's storage, so a
+	// session that adopted a cached prompt prefix skips re-quantizing it. The
+	// segment is dropped — re-pointed into private storage and re-quantized —
+	// on the first scale-epoch bump, because the shared rows were quantized
+	// at the base's scale.
+	base   *SharedQuant
+	shared int
+
 	// Chunk-contribution planes (SyncChunked): planes[b][i*dim+j] is the
 	// additive contribution of chunk b of element j of row i, so the
 	// estimator's per-chunk partial dot is a flat int32 multiply-add
@@ -52,13 +63,34 @@ type QuantCache struct {
 	planeEpoch int64 // qc.epochs the planes correspond to
 }
 
-// Invalidate discards the memo but keeps the storage. The next Sync
-// re-quantizes from scratch.
-func (qc *QuantCache) Invalidate() {
+// reset discards the memo (row headers included: some may point into shared
+// base storage) but keeps the private backing and the adopted base.
+func (qc *QuantCache) reset() {
 	qc.n = 0
 	qc.maxMag = 0
 	qc.scale = 0
 	qc.planeN = 0
+	qc.shared = 0
+	qc.rows = qc.rows[:0]
+}
+
+// Invalidate discards the memo — and any adopted shared prefix — but keeps
+// the storage. The next Sync re-quantizes from scratch.
+func (qc *QuantCache) Invalidate() {
+	qc.reset()
+	qc.base = nil
+}
+
+// AdoptShared discards the memo and arms the cache to seed its next
+// from-empty Sync with the shared snapshot: the snapshot's rows become the
+// leading segment of the memo at the snapshot's scale, read-only and
+// zero-copy, so only rows beyond the snapshot are quantized. A snapshot
+// whose geometry (dim/bits) does not match the Sync call is ignored and
+// dropped. The serving engine calls this when a session adopts a cached
+// prompt prefix.
+func (qc *QuantCache) AdoptShared(base *SharedQuant) {
+	qc.reset()
+	qc.base = base
 }
 
 // Release discards the memo and its storage (cache teardown).
@@ -88,15 +120,31 @@ func (qc *QuantCache) Scale() float64 { return qc.scale }
 func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vector, float64) {
 	if bits != qc.bits || dim != qc.dim {
 		qc.bits, qc.dim = bits, dim
-		qc.rows = qc.rows[:0] // row headers carry the old dim stride
-		qc.Invalidate()
+		qc.reset() // row headers carry the old dim stride
 	}
 	if n < qc.n {
-		qc.Invalidate()
+		qc.reset()
 	}
 	if n == 0 {
 		return qc.rows[:0], 1
 	}
+	if qc.n == 0 && qc.base != nil {
+		// Seed the empty memo from the adopted shared snapshot: its rows
+		// become the leading read-only segment, so the only quantization work
+		// left is the rows beyond it.
+		if bn, mm, sc, brows := qc.base.acquire(src, dim, bits); brows != nil && bn <= n {
+			qc.shared = bn
+			qc.n = bn
+			qc.maxMag = mm
+			qc.scale = sc
+			qc.rows = append(qc.rows[:0], brows...)
+		} else {
+			qc.base = nil // geometry mismatch (or deeper than src): unusable
+		}
+	}
+	// Private backing stays absolutely indexed — rows [0, shared) of it are
+	// simply unused while the shared segment serves them — so an epoch bump
+	// can land every row in its natural slot without re-packing.
 	if cap(qc.back) < n*dim {
 		c := cap(qc.back)
 		if c < 64*dim {
@@ -106,10 +154,13 @@ func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vecto
 			c *= 2
 		}
 		grown := make([]int16, c)
-		copy(grown, qc.back[:qc.n*dim])
+		copy(grown, qc.back)
 		qc.back = grown
-		// Row headers point into the old backing array; re-point them all.
-		qc.rows = qc.rows[:0]
+		// Private row headers point into the old backing; re-point them.
+		// Shared headers keep pointing into the snapshot.
+		for i := qc.shared; i < len(qc.rows); i++ {
+			qc.rows[i] = grown[i*dim : (i+1)*dim]
+		}
 	}
 	qc.back = qc.back[:cap(qc.back)]
 	for len(qc.rows) < n {
@@ -132,6 +183,14 @@ func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vecto
 		qc.scale = ScaleFor(float64(newMax), bits)
 		qc.epochs++
 		start = 0
+		if qc.shared > 0 {
+			// The shared rows were quantized at the snapshot's scale; move
+			// them into private storage and let the loop below re-quantize.
+			for i := 0; i < qc.shared; i++ {
+				qc.rows[i] = qc.back[i*dim : (i+1)*dim]
+			}
+			qc.shared = 0
+		}
 	}
 	for i := start; i < n; i++ {
 		QuantizeRowInto(qc.rows[i], src.Row(i)[:dim], qc.scale, bits)
@@ -179,6 +238,17 @@ func (qc *QuantCache) SyncChunked(src tensor.RowSource, n, dim int, cs ChunkSpec
 	for b := range qc.planes {
 		qc.planes[b] = qc.planes[b][:cap(qc.planes[b])]
 	}
+	if qc.planeN == 0 && qc.shared > 0 && qc.base != nil {
+		// Seed the shared prefix's planes from the snapshot: the int32
+		// contribution values are exactly what the extraction loop below
+		// would produce, at a copy's cost instead of per-element bit work.
+		if bp := qc.base.acquirePlanes(cs); bp != nil {
+			for b := range qc.planes {
+				copy(qc.planes[b][:qc.shared*dim], bp[b])
+			}
+			qc.planeN = qc.shared
+		}
+	}
 	for i := qc.planeN; i < n; i++ {
 		row := qc.rows[i]
 		for b := 0; b < nc; b++ {
@@ -202,4 +272,101 @@ func (qc *QuantCache) SyncFor(src tensor.RowSource, n, dim int, bits uint) ([]Ve
 	}
 	qc.Invalidate()
 	return qc.Sync(src, n, dim, bits)
+}
+
+// SharedQuant is a build-once, read-many quantization snapshot of an
+// immutable row prefix — the quantized side-car counterpart of a shared
+// prompt prefix in the serving engine's KV pool. The first adopter to need
+// quantized rows builds the snapshot (from its own view of the shared float
+// rows, which every adopter sees bit-identically); later adopters reuse the
+// rows and chunk planes zero-copy. The snapshot's scale covers exactly its
+// own rows, so seeding a QuantCache from it and extending incrementally is
+// bit-identical to quantizing the whole context from scratch.
+//
+// A SharedQuant is goroutine-safe; adopters on different serving workers may
+// race to build it.
+type SharedQuant struct {
+	mu     sync.Mutex
+	n      int
+	dim    int
+	bits   uint
+	built  bool
+	maxMag float32
+	scale  float64
+	rows   []Vector
+
+	cspec       ChunkSpec
+	planes      [][]int32
+	planesBuilt bool
+}
+
+// NewSharedQuant declares a snapshot over rows [0, rows) of some immutable
+// source; the quantization itself happens lazily on first acquire.
+func NewSharedQuant(rows int) *SharedQuant { return &SharedQuant{n: rows} }
+
+// Len returns the number of rows the snapshot covers.
+func (s *SharedQuant) Len() int { return s.n }
+
+// acquire builds the snapshot on first use — quantizing rows [0, s.n) of src
+// at the shared scale of exactly those rows — and returns it. The first
+// caller fixes the geometry; callers with a different dim or bit width get
+// nil rows and must quantize privately.
+func (s *SharedQuant) acquire(src tensor.RowSource, dim int, bits uint) (n int, maxMag float32, scale float64, rows []Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.built {
+		s.dim, s.bits = dim, bits
+		var mm float32
+		for i := 0; i < s.n; i++ {
+			if v := tensor.MaxAbs(src.Row(i)[:dim]); v > mm {
+				mm = v
+			}
+		}
+		s.maxMag = mm
+		s.scale = ScaleFor(float64(mm), bits)
+		back := make([]int16, s.n*dim)
+		s.rows = make([]Vector, s.n)
+		for i := range s.rows {
+			s.rows[i] = back[i*dim : (i+1)*dim]
+			QuantizeRowInto(s.rows[i], src.Row(i)[:dim], s.scale, bits)
+		}
+		s.built = true
+	}
+	if s.dim != dim || s.bits != bits {
+		return 0, 0, 0, nil
+	}
+	return s.n, s.maxMag, s.scale, s.rows
+}
+
+// acquirePlanes builds (once) and returns the chunk-contribution planes for
+// cs over the snapshot rows; nil when the snapshot is unbuilt or was built
+// for a different geometry or chunk spec.
+func (s *SharedQuant) acquirePlanes(cs ChunkSpec) [][]int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.built || cs.TotalBits != s.bits {
+		return nil
+	}
+	if !s.planesBuilt {
+		s.cspec = cs
+		nc := cs.NumChunks()
+		s.planes = make([][]int32, nc)
+		for b := range s.planes {
+			s.planes[b] = make([]int32, s.n*s.dim)
+		}
+		for i := 0; i < s.n; i++ {
+			row := s.rows[i]
+			for b := 0; b < nc; b++ {
+				pb := s.planes[b][i*s.dim : (i+1)*s.dim]
+				for j, v := range row {
+					pb[j] = int32(cs.ChunkContribution(cs.Extract(v, b), b))
+				}
+			}
+		}
+		s.planesBuilt = true
+	}
+	if cs != s.cspec {
+		return nil
+	}
+	return s.planes
 }

@@ -167,9 +167,14 @@ func Scores(q []float32, keys tensor.RowSource, n int, scale, slope float32) []f
 type KVCache interface {
 	tensor.RowSource
 	// EnsureLen makes rows [0, n) addressable, acquiring storage as
-	// needed. It returns ErrContextFull when n exceeds the session's
-	// context budget, or a pool-specific error when storage is exhausted.
-	// Rows made addressable by a failed call may remain allocated.
+	// needed, and guarantees row n-1 is privately writable: callers write
+	// rows strictly append-only (row n-1 right after EnsureLen(n)), so
+	// implementations backed by shared storage — e.g. prefix blocks adopted
+	// from a serving pool — copy-on-write the affected storage here, before
+	// the write lands. It returns ErrContextFull when n exceeds the
+	// session's context budget, or a pool-specific error when storage is
+	// exhausted. Rows made addressable by a failed call may remain
+	// allocated.
 	EnsureLen(n int) error
 	// Truncate drops all rows but keeps the cache usable for a new
 	// sequence; pooled implementations return their blocks.
@@ -363,6 +368,27 @@ func (dec *Decoder) Release() {
 
 // Len returns the number of tokens consumed.
 func (dec *Decoder) Len() int { return dec.n }
+
+// AdoptPrefix seeds a fresh decoder with n context rows that are already
+// materialized in its KV caches: the serving engine's prefix-sharing path
+// installs cached, read-only prompt blocks (and their quantized side-car
+// snapshots) into the caches of a new session and then calls this so the
+// decoder treats those rows as consumed context — prefill resumes at
+// position n instead of 0. The decoder must not have consumed any tokens
+// yet, and the caller guarantees every cache already addresses rows [0, n)
+// holding exactly the key/value rows an exact prefill of the same n tokens
+// would produce (KV rows are deterministic in the token prefix, so adopted
+// generation is bit-identical to recomputation).
+func (dec *Decoder) AdoptPrefix(n int) error {
+	if dec.n != 0 {
+		return fmt.Errorf("model: AdoptPrefix on a decoder with %d consumed tokens", dec.n)
+	}
+	if n < 0 || n > dec.P.Cfg.MaxSeq {
+		return fmt.Errorf("%w: adopting %d rows (max %d)", ErrContextFull, n, dec.P.Cfg.MaxSeq)
+	}
+	dec.n = n
+	return nil
+}
 
 // Cache exposes the K and V cache views for (layer, head); rows [0, Len)
 // are valid. The experiment harness reads these to build accelerator traces.

@@ -10,10 +10,22 @@ import (
 )
 
 // ErrNoBlocks reports that the pool's MaxBlocks budget is exhausted. The
-// scheduler surfaces it to the failing session (which finishes with
-// ReasonRejected) instead of crashing a worker; already-leased blocks keep
+// scheduler reacts by evicting idle cached prefixes or preempting the
+// least-progressed session; only when nothing can be reclaimed does the
+// failing session finish with ReasonRejected. Already-leased blocks keep
 // serving their sessions.
 var ErrNoBlocks = errors.New("serve: kv pool out of blocks")
+
+// block is one ref-counted unit of KV storage: blockRows rows of headDim
+// floats. refs is guarded by the owning pool's mutex; a block with refs == 0
+// sits on the free list. Blocks referenced by more than one holder — a
+// session plus the prefix index, or several sessions sharing a prompt
+// prefix — are read-only by convention: pagedCache.EnsureLen copies a shared
+// block before the first write lands in it (copy-on-write).
+type block struct {
+	data []float32
+	refs int
+}
 
 // Pool is a block-paged KV-cache allocator. Instead of eagerly allocating
 // MaxSeq x HeadDim per (layer, head) per session — the seed decoder's
@@ -22,6 +34,11 @@ var ErrNoBlocks = errors.New("serve: kv pool out of blocks")
 // reuses the same memory. Thousands of short sessions therefore cost peak
 // working set, not sessions x full context window.
 //
+// Blocks are ref-counted: the prefix index retains the blocks of published
+// prompt prefixes, and adopting sessions share them read-only, so N sessions
+// with a common system prompt store its KV exactly once. A block returns to
+// the free list only when its last reference drops.
+//
 // A Pool is goroutine-safe; one pool serves every worker of a Server.
 type Pool struct {
 	blockRows int
@@ -29,7 +46,7 @@ type Pool struct {
 	maxBlocks int // 0 = unbounded
 
 	mu    sync.Mutex
-	free  [][]float32
+	free  []*block
 	stats PoolStats
 }
 
@@ -39,8 +56,12 @@ type PoolStats struct {
 	HeadDim   int   // floats per row
 	Allocated int64 // blocks ever backed by fresh memory
 	Leases    int64 // block leases handed out (Allocated + recycled)
-	InUse     int64 // blocks currently leased
+	InUse     int64 // blocks currently referenced (each counted once)
 	Peak      int64 // high-water mark of InUse
+	Free      int64 // blocks parked on the free list right now
+	Trimmed   int64 // free blocks dropped by Trim (memory handed back to GC)
+	Shares    int64 // extra references handed out on live blocks (prefix sharing)
+	Copies    int64 // copy-on-write duplications of shared blocks
 }
 
 // Recycled returns how many leases were served from returned blocks rather
@@ -52,8 +73,8 @@ func (s PoolStats) Recycled() int64 { return s.Leases - s.Allocated }
 func (s PoolStats) AllocatedRows() int64 { return s.Allocated * int64(s.BlockRows) }
 
 func (s PoolStats) String() string {
-	return fmt.Sprintf("blocks %dx%d floats: allocated %d, leased %d (%d recycled), in use %d, peak %d",
-		s.BlockRows, s.HeadDim, s.Allocated, s.Leases, s.Recycled(), s.InUse, s.Peak)
+	return fmt.Sprintf("blocks %dx%d floats: allocated %d, leased %d (%d recycled), in use %d, peak %d, free %d (%d trimmed), shared refs %d, cow copies %d",
+		s.BlockRows, s.HeadDim, s.Allocated, s.Leases, s.Recycled(), s.InUse, s.Peak, s.Free, s.Trimmed, s.Shares, s.Copies)
 }
 
 // NewPool creates a pool of blockRows x headDim blocks. maxBlocks bounds
@@ -77,21 +98,63 @@ func (p *Pool) Stats() PoolStats {
 	return p.stats
 }
 
-// lease hands out one block, recycling a returned one when available.
-func (p *Pool) lease() ([]float32, error) {
+// hasCapacity reports whether a fresh lease could plausibly succeed: the
+// pool is unbounded, holds free blocks, or sits below its budget. The
+// scheduler's resume gate uses it to keep preempted sessions parked while
+// the pool is still saturated.
+func (p *Pool) hasCapacity() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.maxBlocks == 0 || len(p.free) > 0 || p.stats.InUse < int64(p.maxBlocks)
+}
+
+// Trim drops free blocks beyond keepFree, handing their memory back to the
+// garbage collector, and returns how many were dropped. A one-off traffic
+// burst grows the free list to its peak working set; Trim lets an operator
+// (or a periodic caller) release that memory instead of pinning peak
+// forever. Trimmed blocks are accounted in PoolStats.Trimmed.
+func (p *Pool) Trim(keepFree int) int {
+	if keepFree < 0 {
+		keepFree = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.free) - keepFree
+	if n <= 0 {
+		return 0
+	}
+	for i := keepFree; i < len(p.free); i++ {
+		p.free[i] = nil
+	}
+	p.free = p.free[:keepFree]
+	p.stats.Free -= int64(n)
+	p.stats.Trimmed += int64(n)
+	return n
+}
+
+// lease hands out one exclusively-owned block (refs == 1), recycling a
+// returned one when available.
+func (p *Pool) lease() (*block, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leaseLocked()
+}
+
+func (p *Pool) leaseLocked() (*block, error) {
 	if p.maxBlocks > 0 && p.stats.InUse >= int64(p.maxBlocks) {
 		return nil, fmt.Errorf("%w: %d in use (max %d)", ErrNoBlocks, p.stats.InUse, p.maxBlocks)
 	}
-	var b []float32
+	var b *block
 	if n := len(p.free); n > 0 {
 		b = p.free[n-1]
+		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		p.stats.Free--
 	} else {
-		b = make([]float32, p.blockRows*p.headDim)
+		b = &block{data: make([]float32, p.blockRows*p.headDim)}
 		p.stats.Allocated++
 	}
+	b.refs = 1
 	p.stats.Leases++
 	p.stats.InUse++
 	if p.stats.InUse > p.stats.Peak {
@@ -100,15 +163,80 @@ func (p *Pool) lease() ([]float32, error) {
 	return b, nil
 }
 
-// giveBack returns blocks to the free list.
-func (p *Pool) giveBack(blocks [][]float32) {
+// retain adds a reference to a live block (prefix index publication, or a
+// session adopting a shared prefix).
+func (p *Pool) retain(b *block) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retainLocked(b)
+}
+
+func (p *Pool) retainLocked(b *block) {
+	if b.refs < 1 {
+		panic("serve: retain of a free block")
+	}
+	b.refs++
+	p.stats.Shares++
+}
+
+// release drops one reference; the block returns to the free list when the
+// last holder lets go. It reports whether the block became free.
+func (p *Pool) release(b *block) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.releaseLocked(b)
+}
+
+func (p *Pool) releaseLocked(b *block) bool {
+	b.refs--
+	if b.refs > 0 {
+		return false
+	}
+	if b.refs < 0 {
+		panic("serve: release of a free block (refcount underflow)")
+	}
+	p.free = append(p.free, b)
+	p.stats.InUse--
+	p.stats.Free++
+	return true
+}
+
+// releaseAll releases a batch of references under one lock acquisition.
+func (p *Pool) releaseAll(blocks []*block) {
 	if len(blocks) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.free = append(p.free, blocks...)
-	p.stats.InUse -= int64(len(blocks))
+	for _, b := range blocks {
+		p.releaseLocked(b)
+	}
+}
+
+// exclusive returns a privately-owned equivalent of b: b itself when this
+// holder is the only reference, otherwise a copy-on-write duplicate (the
+// caller's reference moves to the copy; other holders keep reading the
+// original, which stays immutable).
+func (p *Pool) exclusive(b *block) (*block, error) {
+	p.mu.Lock()
+	if b.refs == 1 {
+		p.mu.Unlock()
+		return b, nil
+	}
+	nb, err := p.leaseLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.stats.Copies++
+	p.mu.Unlock()
+	// Copy BEFORE dropping our reference: while we still hold it, every
+	// other holder observes refs >= 2 and takes the copy path itself, so no
+	// one can be granted b for writing while we read it. (nb is not yet
+	// visible to anyone else.) Only then does our reference move away.
+	copy(nb.data, b.data)
+	p.release(b) // refs >= 2 here, so b stays live for its other holders
+	return nb, nil
 }
 
 // Provider adapts the pool to the decoder's cache-provider hook, so
@@ -127,8 +255,15 @@ func (pp poolProvider) NewKVCache(maxSeq, headDim int) model.KVCache {
 }
 
 // pagedCache implements model.KVCache over leased pool blocks. Row i lives
-// in block i/BlockRows; blocks are leased on first touch and returned by
+// in block i/BlockRows; blocks are leased on first touch and released by
 // Truncate/Release. Not goroutine-safe, like the decoder that owns it.
+//
+// The leading sharedUpTo blocks may be shared read-only with other sessions
+// (an adopted prompt prefix, or this session's own blocks after the prefix
+// index published them). EnsureLen copy-on-writes a shared block before the
+// decoder's next append lands in it, so divergence never corrupts the other
+// readers; blocks past sharedUpTo are exclusively owned and skip the check,
+// keeping the steady-state append path lock-free.
 //
 // The quantized side-car rides with the cache, not the worker kernel, so a
 // session keeps its incremental quantization memo as the scheduler hands it
@@ -136,10 +271,11 @@ func (pp poolProvider) NewKVCache(maxSeq, headDim int) model.KVCache {
 // rows into another session (Truncate/Release invalidate the memo with the
 // lease).
 type pagedCache struct {
-	pool   *Pool
-	blocks [][]float32
-	maxSeq int
-	qc     fixed.QuantCache
+	pool       *Pool
+	blocks     []*block
+	sharedUpTo int // leading blocks that may be shared (refs > 1)
+	maxSeq     int
+	qc         fixed.QuantCache
 }
 
 // QuantCache implements fixed.CacheQuantizer.
@@ -148,7 +284,7 @@ func (c *pagedCache) QuantCache() *fixed.QuantCache { return &c.qc }
 func (c *pagedCache) Row(i int) []float32 {
 	hd := c.pool.headDim
 	off := (i % c.pool.blockRows) * hd
-	return c.blocks[i/c.pool.blockRows][off : off+hd]
+	return c.blocks[i/c.pool.blockRows].data[off : off+hd]
 }
 
 func (c *pagedCache) EnsureLen(n int) error {
@@ -162,17 +298,63 @@ func (c *pagedCache) EnsureLen(n int) error {
 		}
 		c.blocks = append(c.blocks, b)
 	}
+	// Row n-1 is about to be written (the KVCache contract): if its block is
+	// possibly shared, swap in a private copy before the write can land.
+	if n > 0 {
+		if idx := (n - 1) / c.pool.blockRows; idx < c.sharedUpTo {
+			nb, err := c.pool.exclusive(c.blocks[idx])
+			if err != nil {
+				return err
+			}
+			c.blocks[idx] = nb
+			if idx == c.sharedUpTo-1 {
+				// The tail of the shared range went private; appends walk
+				// forward, so nothing shared is ever written again.
+				c.sharedUpTo = idx
+			}
+		}
+	}
 	return nil
 }
 
+// adopt seeds an empty cache with shared, read-only prefix blocks whose
+// references the caller has already retained, and arms the quantized
+// side-car with the prefix's shared snapshot (nil = quantize privately).
+func (c *pagedCache) adopt(blocks []*block, sq *fixed.SharedQuant) {
+	if len(c.blocks) != 0 {
+		panic("serve: adopt into a non-empty cache")
+	}
+	c.blocks = append(c.blocks, blocks...)
+	c.sharedUpTo = len(blocks)
+	if sq != nil {
+		c.qc.AdoptShared(sq)
+	} else {
+		c.qc.Invalidate()
+	}
+}
+
+// markShared widens the possibly-shared leading range to nblocks — called
+// after the prefix index publishes this cache's blocks, so the session's own
+// later appends copy-on-write out of the published storage.
+func (c *pagedCache) markShared(nblocks int) {
+	if nblocks > len(c.blocks) {
+		nblocks = len(c.blocks)
+	}
+	if nblocks > c.sharedUpTo {
+		c.sharedUpTo = nblocks
+	}
+}
+
 func (c *pagedCache) Truncate() {
-	c.pool.giveBack(c.blocks)
+	c.pool.releaseAll(c.blocks)
 	c.blocks = c.blocks[:0]
+	c.sharedUpTo = 0
 	c.qc.Invalidate()
 }
 
 func (c *pagedCache) Release() {
-	c.pool.giveBack(c.blocks)
+	c.pool.releaseAll(c.blocks)
 	c.blocks = nil
+	c.sharedUpTo = 0
 	c.qc.Release()
 }

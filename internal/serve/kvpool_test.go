@@ -101,6 +101,90 @@ func TestPoolMaxBlocks(t *testing.T) {
 	}
 }
 
+func TestPoolTrimReleasesFreeBlocks(t *testing.T) {
+	pool := NewPool(4, 8, 0)
+	cache := pool.Provider().NewKVCache(64, 8)
+	if err := cache.EnsureLen(24); err != nil { // 6 blocks
+		t.Fatal(err)
+	}
+	cache.Release()
+	if st := pool.Stats(); st.Free != 6 || st.InUse != 0 {
+		t.Fatalf("after release: %+v, want 6 free", st)
+	}
+	if n := pool.Trim(2); n != 4 {
+		t.Fatalf("Trim(2) dropped %d blocks, want 4", n)
+	}
+	st := pool.Stats()
+	if st.Free != 2 || st.Trimmed != 4 {
+		t.Fatalf("after trim: %+v, want free 2 trimmed 4", st)
+	}
+	if n := pool.Trim(2); n != 0 {
+		t.Fatalf("second Trim(2) dropped %d blocks, want 0", n)
+	}
+	// Trimmed blocks are really gone: the next lease allocates fresh memory
+	// once the remaining free blocks run out.
+	if err := cache.EnsureLen(16); err != nil { // needs 4: 2 recycled + 2 fresh
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Allocated != 8 {
+		t.Fatalf("allocated %d blocks, want 8 (6 original + 2 after trim)", st.Allocated)
+	}
+}
+
+// TestBlockRefcountsBalance exercises retain/release/exclusive directly:
+// shared blocks must survive until the last holder lets go, copy-on-write
+// must move exactly one reference, and everything must balance to zero.
+func TestBlockRefcountsBalance(t *testing.T) {
+	pool := NewPool(4, 8, 0)
+	b, err := pool.lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.data {
+		b.data[i] = float32(i)
+	}
+	pool.retain(b) // a second holder (e.g. the prefix index)
+	if st := pool.Stats(); st.InUse != 1 || st.Shares != 1 {
+		t.Fatalf("after retain: %+v", st)
+	}
+
+	// Copy-on-write from the second holder's perspective.
+	cow, err := pool.exclusive(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cow == b {
+		t.Fatal("exclusive returned the shared block itself")
+	}
+	for i := range b.data {
+		if cow.data[i] != b.data[i] {
+			t.Fatalf("cow data diverged before any write: %g != %g", cow.data[i], b.data[i])
+		}
+	}
+	cow.data[0] = 99
+	if b.data[0] == 99 {
+		t.Fatal("write to the copy reached the shared block")
+	}
+	if st := pool.Stats(); st.Copies != 1 || st.InUse != 2 {
+		t.Fatalf("after cow: %+v", st)
+	}
+
+	// An exclusively-held block is returned as-is.
+	same, err := pool.exclusive(cow)
+	if err != nil || same != cow {
+		t.Fatalf("exclusive of an owned block: %v %v", same, err)
+	}
+
+	// exclusive moved the second holder's reference onto the copy, so each
+	// block now has exactly one holder left.
+	if !pool.release(b) || !pool.release(cow) {
+		t.Fatal("final releases did not free the blocks")
+	}
+	if st := pool.Stats(); st.InUse != 0 || st.Free != 2 {
+		t.Fatalf("refcounts did not balance: %+v", st)
+	}
+}
+
 func TestProviderRejectsMismatchedHeadDim(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/spatten"
+	"tokenpicker/internal/train"
+)
+
+// prefixTestKernels is the kernel matrix for the bit-exactness tests: every
+// generation-phase kernel the repo ships, pruning and non-pruning alike.
+func prefixTestKernels(cfg model.Config) map[string]func() model.Kernel {
+	return map[string]func() model.Kernel{
+		"exact":           func() model.Kernel { return nil },
+		"quantized-exact": func() model.Kernel { return attention.NewQuantizedExact() },
+		"token-picker":    func() model.Kernel { return attention.NewTokenPicker(1e-3) },
+		"oracle":          func() model.Kernel { return attention.NewOracle(1e-3) },
+		"spatten": func() model.Kernel {
+			return spatten.New(spatten.Config{
+				KeepRatio: 0.5, MinKeep: 4,
+				Layers: cfg.Layers, Heads: cfg.Heads,
+				Cascade: true, Bits: 12,
+			})
+		},
+	}
+}
+
+func testTokens(n, seed, vocab int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (i*31 + seed*17 + 7) % vocab
+	}
+	return out
+}
+
+// TestPrefixSharingLogitsBitExact publishes a prefilled prompt to the prefix
+// index, adopts it into a second paged decoder, and checks every logit of
+// the adopter — the remaining prefill and a long generation tail — against a
+// dense decoder that never saw shared storage. Sharing must not move a
+// single bit, for every kernel.
+func TestPrefixSharingLogitsBitExact(t *testing.T) {
+	cfg := model.TestConfig()
+	params := model.NewParams(cfg, 31)
+	const blockRows = 16
+	prompt := testTokens(75, 1, cfg.VocabSize) // 4 full chunks + 11-row tail
+
+	for name, mk := range prefixTestKernels(cfg) {
+		t.Run(name, func(t *testing.T) {
+			pool := NewPool(blockRows, cfg.HeadDim, 0)
+			px := newPrefixIndex(pool, blockRows, cfg.Layers, cfg.Heads)
+
+			pub := model.NewDecoderWith(params, mk(), pool.Provider())
+			pub.MustPrompt(prompt)
+			px.publish(pub, prompt)
+
+			ad := model.NewDecoderWith(params, mk(), pool.Provider())
+			rows := px.adopt(ad, prompt, true, true)
+			// 4 chunks (64 rows) + 10 tail rows: the last prompt token stays
+			// for prefill so the adopter has logits to sample from.
+			if want := 74; rows != want {
+				t.Fatalf("adopted %d rows, want %d", rows, want)
+			}
+			if err := ad.AdoptPrefix(rows); err != nil {
+				t.Fatalf("AdoptPrefix: %v", err)
+			}
+			ref := model.NewDecoder(params, mk())
+			la := ad.MustPrompt(prompt[rows:])
+			lr := ref.MustPrompt(prompt)
+			for step := 0; step < 48; step++ {
+				for v := range la {
+					if la[v] != lr[v] {
+						t.Fatalf("step %d vocab %d: shared %g != dense %g", step, v, la[v], lr[v])
+					}
+				}
+				tok := (step*5 + 3) % cfg.VocabSize
+				la = ad.MustStep(tok)
+				lr = ref.MustStep(tok)
+			}
+
+			ad.Release()
+			pub.Release()
+			px.evictAll()
+			if st := pool.Stats(); st.InUse != 0 {
+				t.Fatalf("refcounts did not balance: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCoWIsolationAfterDivergence adopts a prefix whose prompt diverges
+// inside the publisher's tail block, generates past the divergence point,
+// and verifies the publisher's rows survive untouched: the adopter must have
+// copied the tail block before its first divergent append.
+func TestCoWIsolationAfterDivergence(t *testing.T) {
+	cfg := model.TestConfig()
+	params := model.NewParams(cfg, 32)
+	const blockRows = 16
+	pool := NewPool(blockRows, cfg.HeadDim, 0)
+	px := newPrefixIndex(pool, blockRows, cfg.Layers, cfg.Heads)
+
+	prompt := testTokens(75, 2, cfg.VocabSize)
+	pub := model.NewDecoderWith(params, attention.NewQuantizedExact(), pool.Provider())
+	pub.MustPrompt(prompt)
+	px.publish(pub, prompt)
+
+	// Snapshot the publisher's tail rows (the shared partial block).
+	snap := make(map[[3]int][]float32)
+	for l := 0; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.Heads; h++ {
+			keys, vals := pub.Cache(l, h)
+			for i := 64; i < 75; i++ {
+				snap[[3]int{l, h, i}] = append([]float32(nil), keys.Row(i)...)
+				snap[[3]int{l, h, i + 1000}] = append([]float32(nil), vals.Row(i)...)
+			}
+		}
+	}
+
+	// The adopter's prompt diverges at position 70, inside the tail block.
+	div := append([]int(nil), prompt...)
+	for i := 70; i < len(div); i++ {
+		div[i] = (div[i] + 13) % cfg.VocabSize
+	}
+	ad := model.NewDecoderWith(params, attention.NewQuantizedExact(), pool.Provider())
+	rows := px.adopt(ad, div, true, true)
+	if want := 70; rows != want { // 64 chunk rows + 6 matching tail rows
+		t.Fatalf("adopted %d rows, want %d", rows, want)
+	}
+	if err := ad.AdoptPrefix(rows); err != nil {
+		t.Fatal(err)
+	}
+	ad.MustPrompt(div[rows:])
+	for step := 0; step < 20; step++ {
+		ad.MustStep((step * 7) % cfg.VocabSize)
+	}
+	if st := pool.Stats(); st.Copies == 0 {
+		t.Fatalf("divergent append did not copy-on-write: %+v", st)
+	}
+
+	// The publisher's rows — and a fresh dense reference — must be intact.
+	ref := model.NewDecoder(params, attention.NewQuantizedExact())
+	ref.MustPrompt(prompt)
+	for l := 0; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.Heads; h++ {
+			pk, pv := pub.Cache(l, h)
+			rk, rv := ref.Cache(l, h)
+			for i := 64; i < 75; i++ {
+				for j := range snap[[3]int{l, h, i}] {
+					if pk.Row(i)[j] != snap[[3]int{l, h, i}][j] || pk.Row(i)[j] != rk.Row(i)[j] {
+						t.Fatalf("layer %d head %d K row %d corrupted by adopter divergence", l, h, i)
+					}
+					if pv.Row(i)[j] != snap[[3]int{l, h, i + 1000}][j] || pv.Row(i)[j] != rv.Row(i)[j] {
+						t.Fatalf("layer %d head %d V row %d corrupted by adopter divergence", l, h, i)
+					}
+				}
+			}
+		}
+	}
+
+	ad.Release()
+	pub.Release()
+	px.evictAll()
+	if st := pool.Stats(); st.InUse != 0 {
+		t.Fatalf("refcounts did not balance: %+v", st)
+	}
+}
+
+// TestServerPrefixSharingMatchesUnshared runs the same traffic — one
+// publisher wave, then sessions repeating its prompt plus distinct
+// suffixes — through a sharing server and a non-sharing server. Tokens must
+// be identical; the sharing run must prefill fewer prompt tokens and report
+// prefix hits; and the pool must drain to zero references after Close.
+func TestServerPrefixSharingMatchesUnshared(t *testing.T) {
+	r := train.TestModel()
+	base := r.Held[:80] // BlockRows 32: 2 full chunks + 16-row tail
+	prompts := make([][]int, 5)
+	prompts[0] = base
+	for i := 1; i < len(prompts); i++ {
+		prompts[i] = append(append([]int(nil), base...), r.Held[100+8*i:108+8*i]...)
+	}
+
+	run := func(share bool) ([][]int, Report) {
+		srv := NewServer(r.Params, Config{
+			Workers:     2,
+			BlockRows:   32,
+			SharePrefix: share,
+			NewKernel:   func() model.Kernel { return attention.NewTokenPicker(1e-3) },
+		})
+		// Publisher first: its prefill completion populates the index before
+		// the follower wave is admitted.
+		st0, err := srv.Submit(context.Background(), Request{Prompt: prompts[0], MaxNewTokens: 16})
+		if err != nil {
+			t.Fatalf("submit publisher: %v", err)
+		}
+		got := make([][]int, len(prompts))
+		for tok := range st0.Tokens {
+			got[0] = append(got[0], tok)
+		}
+		if res := st0.Result(); res.Reason != ReasonLength {
+			t.Fatalf("publisher finished %q err=%v", res.Reason, res.Err)
+		}
+		streams := make([]*Stream, len(prompts))
+		for i := 1; i < len(prompts); i++ {
+			streams[i], err = srv.Submit(context.Background(), Request{Prompt: prompts[i], MaxNewTokens: 16})
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+		for i := 1; i < len(prompts); i++ {
+			for tok := range streams[i].Tokens {
+				got[i] = append(got[i], tok)
+			}
+			if res := streams[i].Result(); res.Reason != ReasonLength {
+				t.Fatalf("session %d finished %q err=%v", i, res.Reason, res.Err)
+			}
+		}
+		srv.Close()
+		rep := srv.Report()
+		if st := srv.Pool().Stats(); st.InUse != 0 {
+			t.Fatalf("share=%v: %d blocks still referenced after drain", share, st.InUse)
+		}
+		return got, rep
+	}
+
+	shared, repS := run(true)
+	unshared, repU := run(false)
+	for i := range shared {
+		if len(shared[i]) != len(unshared[i]) {
+			t.Fatalf("session %d: shared emitted %d tokens, unshared %d", i, len(shared[i]), len(unshared[i]))
+		}
+		for j := range shared[i] {
+			if shared[i][j] != unshared[i][j] {
+				t.Fatalf("session %d token %d: shared %d != unshared %d", i, j, shared[i][j], unshared[i][j])
+			}
+		}
+	}
+	if repS.Prefix.Hits < int64(len(prompts)-1) {
+		t.Fatalf("prefix hits %d, want >= %d (%+v)", repS.Prefix.Hits, len(prompts)-1, repS.Prefix)
+	}
+	if repS.Prefix.RowsReused == 0 || repS.Prefix.TailRows == 0 {
+		t.Fatalf("no rows adopted: %+v", repS.Prefix)
+	}
+	if repS.PromptTokens >= repU.PromptTokens {
+		t.Fatalf("sharing did not cut prefill compute: %d vs %d prompt tokens",
+			repS.PromptTokens, repU.PromptTokens)
+	}
+}
+
+// TestPreemptRequeueFinishes drives more concurrent sessions than the pool
+// budget can hold at once: instead of finishing mid-flight sessions
+// ReasonRejected, the scheduler must preempt the least-progressed ones —
+// releasing their blocks and replaying their context later — and every
+// session must still finish with the exact tokens a serial decode produces.
+func TestPreemptRequeueFinishes(t *testing.T) {
+	r := train.TestModel()
+	cfg := r.Params.Cfg
+	const (
+		sessions  = 3
+		maxNew    = 24
+		blockRows = 8
+	)
+	// One session grows to 32 rows = 4 blocks in each of its 2*Layers*Heads
+	// caches, i.e. 32 blocks; a 40-block budget fits one full session plus
+	// change, so three concurrent sessions must take turns via preemption.
+	maxBlocks := 10 * cfg.Layers * cfg.Heads
+	prompts := make([][]int, sessions)
+	for i := range prompts {
+		prompts[i] = r.Held[i*9 : i*9+8]
+	}
+
+	srv := NewServer(r.Params, Config{
+		Workers:     1,
+		BlockRows:   blockRows,
+		MaxBlocks:   maxBlocks,
+		MaxPreempts: 16,
+		NewKernel:   func() model.Kernel { return attention.NewQuantizedExact() },
+	})
+	streams := make([]*Stream, sessions)
+	for i, p := range prompts {
+		st, err := srv.Submit(context.Background(), Request{Prompt: p, MaxNewTokens: maxNew})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		streams[i] = st
+	}
+	got := make([][]int, sessions)
+	for i, st := range streams {
+		for tok := range st.Tokens {
+			got[i] = append(got[i], tok)
+		}
+		if res := st.Result(); res.Reason != ReasonLength || res.Err != nil {
+			t.Fatalf("session %d finished %q err=%v (want preempt-requeue, not reject)", i, res.Reason, res.Err)
+		}
+	}
+	srv.Close()
+	rep := srv.Report()
+	if rep.Preempted == 0 {
+		t.Fatalf("pool pressure never preempted anyone: %+v", rep)
+	}
+	if rep.RecomputeTokens == 0 {
+		t.Fatalf("preempted sessions replayed nothing: %+v", rep)
+	}
+	if st := srv.Pool().Stats(); st.InUse != 0 {
+		t.Fatalf("%d blocks still referenced after drain", st.InUse)
+	}
+	for i, p := range prompts {
+		want := decodeSerial(t, r.Params, attention.NewQuantizedExact(), p, maxNew)
+		if len(got[i]) != len(want) {
+			t.Fatalf("session %d emitted %d tokens, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("session %d token %d: preempted run %d != serial %d", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+// TestPreemptMultiWorkerUnderPressure runs the bounded-pool scenario with
+// several workers and prefix sharing on: the resume gate must keep stalled
+// sessions parked while the pool is saturated (instead of burning their
+// preemption budget in a promote/stall loop), and everything must still
+// finish with serial-exact tokens.
+func TestPreemptMultiWorkerUnderPressure(t *testing.T) {
+	r := train.TestModel()
+	cfg := r.Params.Cfg
+	const (
+		sessions  = 4
+		maxNew    = 20
+		blockRows = 8
+	)
+	maxBlocks := 12 * cfg.Layers * cfg.Heads // ~1.5 sessions' working set
+	prompt := r.Held[:12]                    // shared prompt: preempted re-prefill hits the index
+
+	srv := NewServer(r.Params, Config{
+		Workers:     3,
+		BlockRows:   blockRows,
+		MaxBlocks:   maxBlocks,
+		MaxPreempts: 64, // 4 sessions on 1.5 sessions' budget: many turns each; a preempt discards the partial rebuild, so unlucky schedules need patience
+		SharePrefix: true,
+		NewKernel:   func() model.Kernel { return attention.NewTokenPicker(1e-3) },
+	})
+	streams := make([]*Stream, sessions)
+	for i := range streams {
+		st, err := srv.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: maxNew})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		streams[i] = st
+	}
+	want := decodeSerial(t, r.Params, attention.NewTokenPicker(1e-3), prompt, maxNew)
+	for i, st := range streams {
+		var got []int
+		for tok := range st.Tokens {
+			got = append(got, tok)
+		}
+		if res := st.Result(); res.Reason != ReasonLength || res.Err != nil {
+			t.Fatalf("session %d finished %q err=%v", i, res.Reason, res.Err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("session %d emitted %d tokens, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("session %d token %d: %d != serial %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	srv.Close()
+	if st := srv.Pool().Stats(); st.InUse != 0 {
+		t.Fatalf("%d blocks still referenced after drain", st.InUse)
+	}
+}
+
+// TestPreemptionDisabledRejects restores the pre-preemption contract with
+// MaxPreempts < 0: pool exhaustion finishes the session ReasonRejected.
+func TestPreemptionDisabledRejects(t *testing.T) {
+	params := model.NewParams(model.TestConfig(), 9)
+	srv := NewServer(params, Config{Workers: 1, BlockRows: 8, MaxBlocks: 1, MaxPreempts: -1})
+	defer srv.Close()
+
+	st, err := srv.Submit(context.Background(), Request{Prompt: []int{1, 2, 3}, MaxNewTokens: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := st.Result()
+	if res.Reason != ReasonRejected || !errors.Is(res.Err, ErrNoBlocks) {
+		t.Fatalf("result %+v, want rejected with ErrNoBlocks", res)
+	}
+}

@@ -47,7 +47,9 @@ const (
 	ReasonContextFull FinishReason = "context_full"
 	// ReasonCanceled: the request context was canceled or timed out.
 	ReasonCanceled FinishReason = "canceled"
-	// ReasonRejected: the KV pool ran out of blocks mid-flight.
+	// ReasonRejected: the KV pool ran out of blocks mid-flight and nothing
+	// could be reclaimed (no idle cached prefixes to evict, no session to
+	// preempt, preemption budget spent).
 	ReasonRejected FinishReason = "rejected"
 )
 
@@ -79,6 +81,23 @@ type Config struct {
 	// attention goroutines — size the product to the machine. Results are
 	// bit-identical to serial execution regardless of the setting.
 	HeadParallel int
+	// SharePrefix enables prompt prefix sharing: the full BlockRows-sized
+	// chunks of every prefilled prompt are published to an in-pool prefix
+	// index, and a later Submit whose prompt starts with a cached chunk
+	// chain adopts those KV blocks — and their quantized side-car
+	// snapshots — read-only instead of re-running prefill over them. The
+	// partial tail block past the last full chunk is shared too, with
+	// copy-on-write at the first divergent append. Generated tokens are
+	// bit-identical with sharing on or off; the win is admission-side:
+	// prefill compute and time-to-first-token drop for every repeated
+	// prefix (system prompts, chat history). Off by default.
+	SharePrefix bool
+	// MaxPreempts bounds how many times one session may be preempted —
+	// its non-shared KV blocks released and its context scheduled for
+	// cheap recomputation — before pool exhaustion finishes it
+	// ReasonRejected. 0 means the default (3); negative disables
+	// preemption entirely, restoring reject-on-exhaustion.
+	MaxPreempts int
 	// NewKernel builds one generation-phase attention kernel per worker;
 	// nil means exact attention. Because one worker's kernel serves many
 	// interleaved sessions, kernels must not carry state across Attend
@@ -111,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeadParallel <= 0 {
 		c.HeadParallel = 1
+	}
+	if c.MaxPreempts == 0 {
+		c.MaxPreempts = 3
 	}
 	return c
 }
@@ -166,7 +188,24 @@ type session struct {
 	next      int       // next token to feed to Step (already emitted)
 	generated int
 	scratch   []float32 // sampling scratch
+
+	hist       []int // emitted tokens, kept so preemption can replay them
+	adopted    int   // context rows adopted from the prefix index
+	hitCounted bool  // this session already counted toward PrefixStats.Hits
+
+	// Preemption state: hist[replayPos:replayEnd] are emitted tokens whose
+	// KV rows must be recomputed (through the generation kernel, so the
+	// rebuild is bit-identical) before new tokens may be sampled. advance
+	// never runs while replayPos < replayEnd, so hist is stable during
+	// replay by construction.
+	replayPos int
+	replayEnd int
+	preempts  int // times this session has been preempted
 }
+
+// progress orders sessions for victim selection: consumed prompt tokens
+// plus emitted tokens, i.e. how much work preemption would throw away.
+func (sess *session) progress() int { return sess.promptPos + sess.generated }
 
 // statKernel matches kernels that account their off-chip traffic.
 type statKernel interface {
@@ -176,22 +215,27 @@ type statKernel interface {
 
 // Server is the continuous-batching engine.
 type Server struct {
-	cfg    Config
-	params *model.Params
-	pool   *Pool
-	sched  scheduler
-	wg     sync.WaitGroup // workers
-	sessWG sync.WaitGroup // in-flight sessions
+	cfg      Config
+	params   *model.Params
+	pool     *Pool
+	prefixes *prefixIndex // nil unless Config.SharePrefix
+	sched    scheduler
+	wg       sync.WaitGroup // workers
+	sessWG   sync.WaitGroup // in-flight sessions
 
-	mu       sync.Mutex
-	closed   bool
-	active   int
-	peak     int
-	admitted int64
-	finished map[FinishReason]int64
-	prompted int64
-	genToks  int64
-	agg      attention.Stats
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	closed    bool
+	active    int
+	peak      int
+	admitted  int64
+	finished  map[FinishReason]int64
+	prompted  int64
+	genToks   int64
+	recompute int64 // tokens re-consumed by preemption replay
+	preempted int64 // preemption events
+	agg       attention.Stats
 }
 
 // Report is a fleet-wide snapshot: session counts, token counts, peak
@@ -200,11 +244,17 @@ type Server struct {
 type Report struct {
 	Admitted       int64
 	Finished       map[FinishReason]int64
-	PromptTokens   int64
+	PromptTokens   int64 // prompt tokens actually prefilled (adopted rows excluded)
 	GenTokens      int64
 	PeakConcurrent int
-	Attn           attention.Stats
-	Pool           PoolStats
+	// Preempted counts preemption events; RecomputeTokens counts the
+	// generated tokens preempted sessions re-consumed while catching up.
+	Preempted       int64
+	RecomputeTokens int64
+	Attn            attention.Stats
+	Pool            PoolStats
+	// Prefix is the prefix-sharing index accounting (zero when disabled).
+	Prefix PrefixStats
 }
 
 // Completed sums finished sessions across reasons.
@@ -225,7 +275,11 @@ func NewServer(params *model.Params, cfg Config) *Server {
 		pool:     NewPool(cfg.BlockRows, params.Cfg.HeadDim, cfg.MaxBlocks),
 		finished: make(map[FinishReason]int64),
 	}
+	if cfg.SharePrefix {
+		s.prefixes = newPrefixIndex(s.pool, cfg.BlockRows, params.Cfg.Layers, params.Cfg.Heads)
+	}
 	s.sched.cond = sync.NewCond(&s.sched.mu)
+	s.sched.resumeGate = s.pool.hasCapacity
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -280,12 +334,16 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Stream, error) {
 	s.sessWG.Add(1)
 	s.mu.Unlock()
 
-	// A session can emit at most MaxSeq tokens before the window fills, so
-	// cap the stream buffer there: huge MaxNewTokens values must not
-	// reserve memory they can never use.
+	// A session can emit at most MaxSeq - len(prompt) + 1 tokens before the
+	// window fills (the +1 is the token sampled from the final prompt
+	// logits), so cap the stream buffer there: huge MaxNewTokens values and
+	// long prompts must not reserve buffer memory they can never use.
 	buf := req.MaxNewTokens
-	if max := s.params.Cfg.MaxSeq; buf > max {
-		buf = max
+	if lim := s.params.Cfg.MaxSeq - len(req.Prompt) + 1; buf > lim {
+		buf = lim
+	}
+	if buf < 0 {
+		buf = 0
 	}
 	tokens := make(chan int, buf)
 	sess := &session{
@@ -298,19 +356,48 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Stream, error) {
 		scratch:   make([]float32, s.params.Cfg.VocabSize),
 	}
 	sess.stream = &Stream{Tokens: tokens, done: make(chan struct{})}
+	if s.prefixes != nil {
+		s.adoptPrefix(sess, true)
+	}
 	s.sched.push(sess)
 	return sess.stream, nil
 }
 
-// Close stops admission, waits for in-flight sessions to drain, and shuts
-// the workers down. It is safe to call once.
+// adoptPrefix seeds a fresh session decoder with the longest cached prompt
+// prefix; prefill then resumes past the adopted rows, which is where the
+// prefix-sharing TTFT and prefill-compute savings come from.
+func (s *Server) adoptPrefix(sess *session, firstProbe bool) {
+	rows := s.prefixes.adopt(sess.dec, sess.req.Prompt, firstProbe, !sess.hitCounted)
+	if rows == 0 {
+		return
+	}
+	sess.hitCounted = true
+	if err := sess.dec.AdoptPrefix(rows); err != nil {
+		// Unreachable for a fresh decoder; fall back to a full prefill and
+		// return the adopted references.
+		sess.dec.Reset()
+		return
+	}
+	sess.promptPos = rows
+	sess.adopted = rows
+}
+
+// Close stops admission, waits for in-flight sessions to drain, shuts the
+// workers down, and releases the prefix index's cached blocks so the pool
+// refcounts balance to zero. It is idempotent: concurrent and repeated
+// calls all block until the first shutdown completes.
 func (s *Server) Close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.sessWG.Wait()
-	s.sched.close()
-	s.wg.Wait()
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.sessWG.Wait()
+		s.sched.close()
+		s.wg.Wait()
+		if s.prefixes != nil {
+			s.prefixes.evictAll()
+		}
+	})
 }
 
 // Report snapshots the fleet-wide statistics.
@@ -318,12 +405,17 @@ func (s *Server) Report() Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r := Report{
-		Admitted:       s.admitted,
-		Finished:       make(map[FinishReason]int64, len(s.finished)),
-		PromptTokens:   s.prompted,
-		GenTokens:      s.genToks,
-		PeakConcurrent: s.peak,
-		Pool:           s.pool.Stats(),
+		Admitted:        s.admitted,
+		Finished:        make(map[FinishReason]int64, len(s.finished)),
+		PromptTokens:    s.prompted,
+		GenTokens:       s.genToks,
+		PeakConcurrent:  s.peak,
+		Preempted:       s.preempted,
+		RecomputeTokens: s.recompute,
+		Pool:            s.pool.Stats(),
+	}
+	if s.prefixes != nil {
+		r.Prefix = s.prefixes.Stats()
 	}
 	for k, v := range s.finished {
 		r.Finished[k] = v
@@ -361,6 +453,7 @@ func (s *Server) worker() {
 		if !done {
 			s.sched.push(sess)
 		}
+		s.sched.endRun()
 	}
 }
 
@@ -380,11 +473,12 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 	}
 	// Count steps locally and publish once per quantum — the per-token
 	// path must not take the global mutex.
-	stepped := 0
+	stepped, replayed := 0, 0
 	defer func() {
-		if stepped > 0 {
+		if stepped > 0 || replayed > 0 {
 			s.mu.Lock()
 			s.genToks += int64(stepped)
+			s.recompute += int64(replayed)
 			s.mu.Unlock()
 		}
 	}()
@@ -393,10 +487,22 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 			s.finish(sess, Result{Reason: ReasonCanceled, Err: err})
 			return true
 		}
+		if sess.replayPos < sess.replayEnd {
+			// Preemption replay: re-consume an already-emitted token through
+			// the generation kernel — the same compute path that produced
+			// it, so the KV rows rebuild bit-identically — without emitting
+			// anything. Replay shares the quantum budget: a deep session
+			// catching up must not starve its peers.
+			if _, err := sess.dec.Step(sess.hist[sess.replayPos]); err != nil {
+				return s.storageErr(sess, err)
+			}
+			sess.replayPos++
+			replayed++
+			continue
+		}
 		logits, err := sess.dec.Step(sess.next)
 		if err != nil {
-			s.finishErr(sess, err)
-			return true
+			return s.storageErr(sess, err)
 		}
 		stepped++
 		if s.advance(sess, logits) {
@@ -407,33 +513,125 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 }
 
 // prefill consumes one prompt chunk with exact attention; on the last chunk
-// it samples and emits the first generated token.
+// it publishes the prompt's full blocks to the prefix index and samples and
+// emits the first generated token (unless the session is catching up after
+// a preemption, in which case its first token was emitted long ago).
 func (s *Server) prefill(sess *session) bool {
+	if sess.promptPos == 0 && sess.adopted == 0 && s.prefixes != nil {
+		// The admission-time probe missed, but the index may have filled in
+		// the meantime (a same-prefix session published while this one sat
+		// queued): re-probe at the last moment before prefill work begins.
+		// Reset first — a failed block acquisition on an earlier attempt may
+		// have left stray leases in the caches, and adoption needs them
+		// empty.
+		sess.dec.Reset()
+		s.adoptPrefix(sess, false)
+	}
 	end := sess.promptPos + s.cfg.PromptChunk
 	if end > len(sess.req.Prompt) {
 		end = len(sess.req.Prompt)
 	}
 	logits, err := sess.dec.Prompt(sess.req.Prompt[sess.promptPos:end])
-	if err != nil {
-		// The decoder may have consumed part of the chunk before failing;
-		// account for what actually entered the KV cache.
-		consumed := sess.dec.Len() - sess.promptPos
-		sess.promptPos = sess.dec.Len()
+	// The decoder may have consumed part of the chunk before failing;
+	// account for what actually entered the KV cache.
+	consumed := sess.dec.Len() - sess.promptPos
+	sess.promptPos = sess.dec.Len()
+	if consumed > 0 {
 		s.mu.Lock()
 		s.prompted += int64(consumed)
 		s.mu.Unlock()
-		s.finishErr(sess, err)
-		return true
 	}
-	consumed := end - sess.promptPos
-	sess.promptPos = end
-	s.mu.Lock()
-	s.prompted += int64(consumed)
-	s.mu.Unlock()
+	if err != nil {
+		return s.storageErr(sess, err)
+	}
 	if sess.promptPos == len(sess.req.Prompt) {
+		if s.prefixes != nil {
+			s.prefixes.publish(sess.dec, sess.req.Prompt)
+		}
+		if sess.generated > 0 {
+			// Preemption replay: move on to re-consuming emitted tokens.
+			return false
+		}
 		return s.advance(sess, logits)
 	}
 	return false
+}
+
+// storageErr handles a decoder error mid-session. Pool exhaustion walks a
+// reclamation ladder — evict an idle cached prefix, preempt the least-
+// progressed waiting session, preempt this session behind the pool's other
+// holders — and finishes the session ReasonRejected only when every rung
+// fails. Any other error finishes the session directly. It returns true
+// when the worker must not requeue the session: it finished, or it was
+// preempted onto the stalled list.
+func (s *Server) storageErr(sess *session, err error) bool {
+	if !errors.Is(err, ErrNoBlocks) {
+		s.finishErr(sess, err)
+		return true
+	}
+	// Cached-but-idle prefix blocks must never starve live sessions. This
+	// rung is cache reclamation, not preemption, so it runs even when
+	// MaxPreempts < 0 disables the preemption rungs below.
+	if s.prefixes != nil && s.prefixes.evictOne() {
+		return false // retry on the reclaimed blocks
+	}
+	if s.cfg.MaxPreempts < 0 {
+		s.finishErr(sess, err)
+		return true
+	}
+	if v := s.sched.steal(sess.progress(), s.cfg.MaxPreempts); v != nil {
+		// The victim stalls until the run queue drains; this session retries
+		// on the victim's freed blocks at its next dispatch.
+		s.preempt(v)
+		s.sched.stall(v)
+		return false
+	}
+	if sess.preempts < s.cfg.MaxPreempts && s.othersActive() {
+		s.preempt(sess)
+		s.sched.stall(sess)
+		return true
+	}
+	s.finishErr(sess, err)
+	return true
+}
+
+// othersActive reports whether any other non-parked session is in flight —
+// if everything else is finished or stalled (and stalled sessions hold no
+// block references), preempting the current one cannot free anything it
+// will not immediately need again, so exhaustion is a genuine capacity
+// shortage.
+func (s *Server) othersActive() bool {
+	parked := s.sched.stalledLen()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active > 1+parked
+}
+
+// preempt releases a session's pool blocks and rewinds it for replay: the
+// prompt re-prefills cheaply (via the prefix index when enabled — typically
+// adopting the very blocks this session published during its first
+// prefill, so only its non-shared state is truly recomputed) and the
+// already-emitted tokens are re-consumed through the generation kernel
+// without being re-emitted. Re-adoption is deliberately lazy (the
+// prefill-time re-probe): a parked session must hold zero block
+// references, shared ones included, so the eviction rung can reclaim idle
+// index entries while it waits. The caller owns sess: either it is the
+// session being dispatched, or it was just stolen from the run queue.
+func (s *Server) preempt(sess *session) {
+	// Every emitted token except the last was consumed by Step; the last
+	// one is still pending in sess.next and is consumed on resume.
+	sess.replayEnd = len(sess.hist) - 1
+	if sess.replayEnd < 0 {
+		sess.replayEnd = 0
+	}
+	sess.replayPos = 0
+	sess.promptPos = 0
+	sess.adopted = 0
+	sess.preempts++
+	sess.dec.Reset()
+	s.mu.Lock()
+	s.preempted++
+	s.mu.Unlock()
 }
 
 // advance samples the next token from logits, emits it, and reports whether
@@ -445,6 +643,7 @@ func (s *Server) advance(sess *session, logits []float32) bool {
 		sess.firstTok = time.Now()
 	}
 	sess.next = tok
+	sess.hist = append(sess.hist, tok)
 	sess.generated++
 	if sess.generated >= sess.req.MaxNewTokens {
 		s.finish(sess, Result{Reason: ReasonLength})
@@ -482,6 +681,8 @@ func (s *Server) finish(sess *session, res Result) {
 	s.finished[res.Reason]++
 	s.mu.Unlock()
 	s.sessWG.Done()
+	// The released blocks may be exactly what a stalled session waits for.
+	s.sched.kick()
 }
 
 // sample draws the next token: argmax when Temperature <= 0, else a
@@ -507,35 +708,179 @@ func (sess *session) sample(logits []float32) int {
 	return len(scaled) - 1
 }
 
-// scheduler is the FIFO run queue workers pull dispatch quanta from.
+// scheduler is the FIFO run queue workers pull dispatch quanta from. It is
+// a ring buffer: popped slots are nil'd immediately, so a finished
+// session's decoder and KV side-cars become collectable the moment it
+// leaves the queue instead of lingering in a sliced-off backing array
+// under sustained load.
+//
+// Preempted sessions park on the stalled list instead of the run queue:
+// they hold no exclusive pool blocks, and re-admitting them immediately
+// would just re-create the exhaustion that preempted them. A stalled
+// session is promoted only when the run queue empties AND the pool can
+// plausibly serve it again (the resume gate: capacity freed up) — or, as
+// the liveness fallback, when no session is mid-dispatch either, so the
+// engine can never deadlock with everyone parked: the promoted session
+// either proceeds or walks the reclamation ladder to its rejection.
 type scheduler struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []*session
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []*session
+	head    int
+	count   int
+	running int // sessions currently inside a dispatch quantum
+	stalled []*session
+	// resumeGate reports whether a stalled session is worth waking (pool
+	// capacity available); nil means always.
+	resumeGate func() bool
+	closed     bool
+}
+
+func (sc *scheduler) pushLocked(sess *session) {
+	if sc.count == len(sc.buf) {
+		n := len(sc.buf) * 2
+		if n < 8 {
+			n = 8
+		}
+		fresh := make([]*session, n)
+		for i := 0; i < sc.count; i++ {
+			fresh[i] = sc.buf[(sc.head+i)%len(sc.buf)]
+		}
+		sc.buf = fresh
+		sc.head = 0
+	}
+	sc.buf[(sc.head+sc.count)%len(sc.buf)] = sess
+	sc.count++
 }
 
 func (sc *scheduler) push(sess *session) {
 	sc.mu.Lock()
-	sc.q = append(sc.q, sess)
+	sc.pushLocked(sess)
 	sc.mu.Unlock()
 	sc.cond.Signal()
 }
 
+// stall parks a preempted session until the run queue drains.
+func (sc *scheduler) stall(sess *session) {
+	sc.mu.Lock()
+	sc.stalled = append(sc.stalled, sess)
+	sc.mu.Unlock()
+	sc.cond.Signal() // a worker may be waiting on an empty run queue
+}
+
 // pop blocks for the next runnable session; ok is false once the scheduler
-// is closed and drained.
+// is closed and drained (stalled sessions included). Each successful pop
+// opens a dispatch quantum the worker must close with endRun.
 func (sc *scheduler) pop() (*session, bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	for len(sc.q) == 0 && !sc.closed {
+	for {
+		if len(sc.stalled) > 0 {
+			// Promote a canceled session unconditionally (its result must
+			// not wait for pool capacity), else the oldest one — whenever
+			// the pool freed up, or nothing else could possibly free it, or
+			// we are draining for close. Promotion is independent of queue
+			// depth: under sustained load the run queue never empties, and
+			// parked sessions must not starve behind it.
+			idx := -1
+			for i, v := range sc.stalled {
+				if v.ctx != nil && v.ctx.Err() != nil {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 && (sc.closed || (sc.running == 0 && sc.count == 0) ||
+				sc.resumeGate == nil || sc.resumeGate()) {
+				idx = 0
+			}
+			if idx >= 0 {
+				sc.pushLocked(sc.stalled[idx])
+				copy(sc.stalled[idx:], sc.stalled[idx+1:])
+				sc.stalled[len(sc.stalled)-1] = nil
+				sc.stalled = sc.stalled[:len(sc.stalled)-1]
+			}
+		}
+		if sc.count > 0 {
+			break
+		}
+		if sc.closed && len(sc.stalled) == 0 {
+			return nil, false
+		}
 		sc.cond.Wait()
 	}
-	if len(sc.q) == 0 {
-		return nil, false
-	}
-	sess := sc.q[0]
-	sc.q = sc.q[1:]
+	sess := sc.buf[sc.head]
+	sc.buf[sc.head] = nil // release the slot: popped sessions must be collectable
+	sc.head = (sc.head + 1) % len(sc.buf)
+	sc.count--
+	sc.running++
 	return sess, true
+}
+
+// endRun closes the dispatch quantum opened by pop. When the last running
+// quantum ends, waiting workers re-check the stalled list: with nothing
+// running, a parked session is the only way forward.
+func (sc *scheduler) endRun() {
+	sc.mu.Lock()
+	sc.running--
+	wake := sc.running == 0 && len(sc.stalled) > 0
+	sc.mu.Unlock()
+	if wake {
+		sc.cond.Broadcast()
+	}
+}
+
+// kick re-evaluates the stalled list after pool capacity was freed outside
+// the scheduler's view (a session finished and released its blocks).
+func (sc *scheduler) kick() {
+	sc.cond.Broadcast()
+}
+
+// stalledLen returns how many sessions are parked.
+func (sc *scheduler) stalledLen() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.stalled)
+}
+
+// steal removes and returns the least-progressed waiting session whose
+// progress does not exceed maxProgress and whose preemption budget is not
+// spent; nil when no such victim is queued. Equal progress still yields a
+// victim — identical prompts advance in lockstep, and the dispatching
+// session keeping its blocks while the victim restarts cheaply through the
+// prefix index beats both of them thrashing. Queued sessions are not
+// executing, so the caller owns the returned session until it parks it.
+func (sc *scheduler) steal(maxProgress, maxPreempts int) *session {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	bestIdx := -1
+	var best *session
+	for i := 0; i < sc.count; i++ {
+		v := sc.buf[(sc.head+i)%len(sc.buf)]
+		if v.preempts >= maxPreempts {
+			continue
+		}
+		p := v.progress()
+		if p <= v.adopted {
+			// Nothing computed beyond (at most) adopted shared rows: the
+			// victim holds no private blocks, so preempting it frees
+			// nothing and only burns its budget toward a spurious reject.
+			continue
+		}
+		if p <= maxProgress && (best == nil || p < best.progress()) {
+			best, bestIdx = v, i
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Close the gap by shifting the queue's front over the stolen slot.
+	for i := bestIdx; i > 0; i-- {
+		sc.buf[(sc.head+i)%len(sc.buf)] = sc.buf[(sc.head+i-1)%len(sc.buf)]
+	}
+	sc.buf[sc.head] = nil
+	sc.head = (sc.head + 1) % len(sc.buf)
+	sc.count--
+	return best
 }
 
 func (sc *scheduler) close() {

@@ -15,9 +15,10 @@
 //     paper's evaluation section;
 //   - a continuous-batching serving engine that time-slices many concurrent
 //     generation sessions across a worker pool, pages their KV caches
-//     through a shared block pool, and aggregates pruning statistics
-//     fleet-wide — the multi-tenant regime the paper's memory-bound
-//     analysis targets.
+//     through a shared ref-counted block pool with prompt-prefix sharing
+//     (copy-on-write divergence) and preemptive scheduling under memory
+//     pressure, and aggregates pruning statistics fleet-wide — the
+//     multi-tenant regime the paper's memory-bound analysis targets.
 //
 // Quick start:
 //
@@ -123,10 +124,15 @@ type (
 	ServeReport = serve.Report
 	// FinishReason tells why a session stopped.
 	FinishReason = serve.FinishReason
-	// KVPool is the block-paged KV-cache allocator behind a Server.
+	// KVPool is the block-paged, ref-counted KV-cache allocator behind a
+	// Server (prefix-shared blocks are copy-on-write; Trim releases idle
+	// free-list memory).
 	KVPool = serve.Pool
 	// KVPoolStats is a pool accounting snapshot.
 	KVPoolStats = serve.PoolStats
+	// PrefixStats is the prompt-prefix-sharing index accounting
+	// (ServeConfig.SharePrefix).
+	PrefixStats = serve.PrefixStats
 	// KVCache is the decoder's per-(layer, head) cache abstraction.
 	KVCache = model.KVCache
 	// CacheProvider allocates KV caches for a decoder session.
