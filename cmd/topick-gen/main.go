@@ -12,10 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"tokenpicker"
-	"tokenpicker/internal/tensor"
 )
 
 func main() {
@@ -24,8 +22,10 @@ func main() {
 		threshold = flag.Float64("threshold", 1e-3, "pruning threshold")
 		kernel    = flag.String("kernel", "topick", "attention kernel: topick|exact")
 		promptLen = flag.Int("prompt", 64, "prompt length from the held-out corpus")
-		temp      = flag.Float64("temperature", 0.8, "sampling temperature")
-		seed      = flag.Int64("seed", 7, "sampling seed")
+		temp      = flag.Float64("temperature", 0.8, "sampling temperature (0 = greedy)")
+		seed      = flag.Int64("seed", 7, "sampling seed (with -temperature > 0)")
+		topK      = flag.Int("top-k", 0, "keep only the K most likely tokens (0 = off)")
+		topP      = flag.Float64("top-p", 0, "nucleus sampling mass (0 = off)")
 	)
 	flag.Parse()
 
@@ -49,19 +49,39 @@ func main() {
 		log.Fatalf("prompt: %v", err)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	// The same composable sampler chain the serving engine runs; its
+	// typed validation rejects contradictory flag combinations (e.g.
+	// -temperature 0 with -seed).
+	cfg := tokenpicker.SamplingConfig{Temperature: *temp, TopK: *topK, TopP: *topP, Seed: *seed}
+	if *temp == 0 {
+		// The seed default only exists for the sampling path; forward it to
+		// greedy validation only when the user explicitly asked for it, so
+		// `-temperature 0` alone works while `-temperature 0 -seed 9` gets
+		// the typed contradiction error.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["seed"] {
+			cfg.Seed = 0
+		}
+	}
+	sampler, err := tokenpicker.NewSampler(cfg)
+	if err != nil {
+		log.Fatalf("sampling config: %v", err)
+	}
+	history := append([]int(nil), prompt...)
 	fmt.Printf("prompt tokens: %v\n", prompt[len(prompt)-16:])
 	fmt.Printf("generated    : ")
-	tok := sample(rng, logits, float32(*temp))
+	tok := sampler.Sample(logits, history)
 	for i := 0; i < *nTokens; i++ {
 		fmt.Printf("%d ", tok)
+		history = append(history, tok)
 		logits, err = dec.Step(tok)
 		if err != nil {
 			// ErrContextFull: the window is exhausted; stop cleanly.
 			fmt.Printf("\n(stopped early: %v)", err)
 			break
 		}
-		tok = sample(rng, logits, float32(*temp))
+		tok = sampler.Sample(logits, history)
 	}
 	fmt.Println()
 
@@ -75,23 +95,4 @@ func main() {
 		fmt.Printf("  K+V total reduction : %.2fx\n", st.TotalReduction())
 		fmt.Printf("  chunk fetches       : %v\n", st.ChunkFetches)
 	}
-}
-
-// sample draws from softmax(logits/temp).
-func sample(rng *rand.Rand, logits []float32, temp float32) int {
-	scaled := make([]float32, len(logits))
-	for i, v := range logits {
-		scaled[i] = v / temp
-	}
-	probs := make([]float32, len(scaled))
-	tensor.Softmax(probs, scaled)
-	u := rng.Float64()
-	var acc float64
-	for i, p := range probs {
-		acc += float64(p)
-		if u <= acc {
-			return i
-		}
-	}
-	return len(probs) - 1
 }

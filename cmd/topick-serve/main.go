@@ -1,23 +1,36 @@
-// Command topick-serve demonstrates the continuous-batching serving engine:
-// it trains the demo model, fires a wave of concurrent mixed-length
-// generation requests through the scheduler with Token-Picker pruned
-// attention on every worker, and prints the fleet-wide throughput, pruning,
-// KV-pool, prefix-sharing, and preemption report. With -compare it also
-// decodes the same traffic serialized on a single decoder and runs a
+// Command topick-serve runs the continuous-batching serving engine in two
+// modes.
+//
+// Offline demo (default): trains the demo model, fires a wave of concurrent
+// mixed-length generation requests through the scheduler with Token-Picker
+// pruned attention on every worker, and prints the fleet-wide throughput,
+// pruning, KV-pool, prefix-sharing, and preemption report. With -compare it
+// also decodes the same traffic serialized on a single decoder and runs a
 // shared-prefix fleet with sharing on vs off, printing both side-by-side
 // tables.
+//
+// HTTP server (-listen): boots the engine behind the OpenAI-style HTTP API
+// (POST /v1/completions with optional SSE streaming, GET /v1/stats,
+// GET /healthz) and runs until SIGINT/SIGTERM, then drains in-flight
+// sessions and exits cleanly.
 //
 // Usage:
 //
 //	topick-serve -sessions 12 -workers 4 -max-new 48 -threshold 1e-3 -compare
 //	topick-serve -max-blocks 256 -max-preempts 4   # preempt under pool pressure
+//	topick-serve -listen :8080                     # HTTP/SSE front-end
+//	curl -s localhost:8080/v1/completions -d '{"prompt":[1,2,3],"max_tokens":8}'
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -27,7 +40,7 @@ import (
 
 func main() {
 	var (
-		sessions  = flag.Int("sessions", 12, "concurrent generation requests")
+		sessions  = flag.Int("sessions", 12, "concurrent generation requests (offline demo)")
 		workers   = flag.Int("workers", 4, "decode workers")
 		maxNew    = flag.Int("max-new", 48, "tokens to generate per session")
 		promptLen = flag.Int("prompt", 24, "shortest prompt length")
@@ -42,6 +55,7 @@ func main() {
 		share     = flag.Bool("share-prefix", true, "share cached prompt-prefix KV blocks across sessions")
 		maxBlocks = flag.Int("max-blocks", 0, "KV pool block budget (0 = unbounded; exhaustion preempts sessions)")
 		preempts  = flag.Int("max-preempts", 0, "per-session preemption budget (0 = default, negative = reject on exhaustion)")
+		listen    = flag.String("listen", "", "serve the HTTP API on this address (e.g. :8080) instead of the offline demo")
 	)
 	flag.Parse()
 
@@ -51,16 +65,6 @@ func main() {
 	fmt.Printf("model %s: %d layers x %d heads, head dim %d, context %d\n\n",
 		cfg.Name, cfg.Layers, cfg.Heads, cfg.HeadDim, cfg.MaxSeq)
 
-	if *sessions < 1 || *promptLen < 1 || *stride < 0 {
-		fmt.Fprintln(os.Stderr, "need -sessions >= 1, -prompt >= 1, -stride >= 0")
-		os.Exit(2)
-	}
-	if longest := *promptLen + (*sessions-1)**stride; longest >= len(res.Held) {
-		fmt.Fprintf(os.Stderr, "longest prompt %d exceeds the %d-token held-out stream; lower -sessions/-prompt/-stride\n",
-			longest, len(res.Held))
-		os.Exit(2)
-	}
-
 	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
 		Workers:      *workers,
 		Quantum:      *quantum,
@@ -69,30 +73,105 @@ func main() {
 		SharePrefix:  *share,
 		MaxPreempts:  *preempts,
 		HeadParallel: tokenpicker.ResolveParallel(*parallel),
+		Detokenize:   detok,
 		NewKernel:    func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
 	})
+
+	if *listen != "" {
+		serveHTTP(srv, *listen)
+		return
+	}
+	offlineDemo(res, srv, offlineOptions{
+		sessions: *sessions, workers: *workers, maxNew: *maxNew,
+		promptLen: *promptLen, stride: *stride, threshold: *threshold,
+		blockRows: *blockRows, parallel: *parallel, quantum: *quantum,
+		temp: *temp, deadline: *deadline, compare: *compare, share: *share,
+	})
+}
+
+// detok renders a synthetic-vocabulary token for the HTTP text fields.
+func detok(tok int) string { return fmt.Sprintf("%d ", tok) }
+
+// serveHTTP runs the engine behind the HTTP front-end until SIGINT/SIGTERM,
+// then shuts down in order: stop accepting connections, drain in-flight
+// sessions, print the fleet report.
+func serveHTTP(srv *tokenpicker.Server, addr string) {
+	handler := tokenpicker.NewHTTPHandler(srv, tokenpicker.HTTPOptions{
+		Model: "topick-demo",
+		Detok: detok,
+	})
+	hs := &http.Server{Addr: addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("HTTP API listening on %s (POST /v1/completions, GET /v1/stats)\n", addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\nsignal received, shutting down...")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "http: %v\n", err)
+		os.Exit(1)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	srv.Close()
+	rep := srv.Report()
+	fmt.Printf("served %d sessions (%d prompt + %d generated tokens), pruning %.2fx\n",
+		rep.Admitted, rep.PromptTokens, rep.GenTokens, rep.Attn.PruningRatio())
+	fmt.Println("clean shutdown")
+}
+
+type offlineOptions struct {
+	sessions, workers, maxNew, promptLen, stride int
+	blockRows, parallel, quantum                 int
+	threshold, temp                              float64
+	deadline                                     time.Duration
+	compare, share                               bool
+}
+
+func offlineDemo(res *tokenpicker.TrainResult, srv *tokenpicker.Server, o offlineOptions) {
+	cfg := res.Params.Cfg
+	if o.sessions < 1 || o.promptLen < 1 || o.stride < 0 {
+		fmt.Fprintln(os.Stderr, "need -sessions >= 1, -prompt >= 1, -stride >= 0")
+		os.Exit(2)
+	}
+	if longest := o.promptLen + (o.sessions-1)*o.stride; longest >= len(res.Held) {
+		fmt.Fprintf(os.Stderr, "longest prompt %d exceeds the %d-token held-out stream; lower -sessions/-prompt/-stride\n",
+			longest, len(res.Held))
+		os.Exit(2)
+	}
 
 	type outcome struct {
 		prompt int
 		res    tokenpicker.ServeResult
 	}
-	outcomes := make([]outcome, *sessions)
+	outcomes := make([]outcome, o.sessions)
 	start := time.Now()
-	streams := make([]*tokenpicker.ServeStream, *sessions)
-	for i := 0; i < *sessions; i++ {
-		l := *promptLen + i**stride
+	streams := make([]*tokenpicker.ServeStream, o.sessions)
+	for i := 0; i < o.sessions; i++ {
+		l := o.promptLen + i*o.stride
 		startTok := (i * 17) % (len(res.Held) - l)
 		ctx := context.Background()
-		if *deadline > 0 {
+		if o.deadline > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			ctx, cancel = context.WithTimeout(ctx, o.deadline)
 			defer cancel()
 		}
-		st, err := srv.Submit(ctx, tokenpicker.ServeRequest{
-			Prompt:       res.Held[startTok : startTok+l],
-			MaxNewTokens: *maxNew,
-			Temperature:  *temp,
-			Seed:         int64(i + 1),
+		var sampling tokenpicker.SamplingConfig
+		if o.temp > 0 {
+			sampling = tokenpicker.SamplingConfig{Temperature: o.temp, Seed: int64(i + 1)}
+		}
+		st, err := srv.Submit(ctx, tokenpicker.GenerateRequest{
+			Prompt:    res.Held[startTok : startTok+l],
+			MaxTokens: o.maxNew,
+			Sampling:  sampling,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "submit %d: %v\n", i, err)
@@ -102,8 +181,8 @@ func main() {
 		outcomes[i].prompt = l
 	}
 	for i, st := range streams {
-		for range st.Tokens {
-			// A real consumer would forward tokens as they stream in; the
+		for range st.Events() {
+			// A real consumer would forward events as they stream in; the
 			// demo only accounts for them.
 		}
 		outcomes[i].res = st.Result()
@@ -115,17 +194,17 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "session\tprompt\tgenerated\tfinish\tTTFT\telapsed")
 	for i, o := range outcomes {
-		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%v\t%v\n", i, o.prompt, o.res.Generated, o.res.Reason,
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%v\t%v\n", i, o.prompt, o.res.Usage.GeneratedTokens, o.res.Reason,
 			o.res.TTFT.Round(time.Millisecond), o.res.Elapsed.Round(time.Millisecond))
 	}
 	w.Flush()
 
 	var gen int64
 	for _, o := range outcomes {
-		gen += int64(o.res.Generated)
+		gen += int64(o.res.Usage.GeneratedTokens)
 	}
 	fmt.Printf("\nfleet report (%d sessions, %d workers, quantum %d):\n",
-		rep.Admitted, *workers, *quantum)
+		rep.Admitted, o.workers, o.quantum)
 	fmt.Printf("  wall time            : %v (%.1f generated tokens/s)\n",
 		wall.Round(time.Millisecond), float64(gen)/wall.Seconds())
 	fmt.Printf("  peak concurrency     : %d sessions in flight\n", rep.PeakConcurrent)
@@ -135,7 +214,7 @@ func main() {
 	fmt.Printf("  K access reduction   : %.2fx, total KV reduction %.2fx\n",
 		rep.Attn.KReduction(), rep.Attn.TotalReduction())
 	fmt.Printf("  KV pool              : %s\n", rep.Pool)
-	if *share {
+	if o.share {
 		fmt.Printf("  prefix index         : %d chunks published, hit rate %.0f%%, %d KV rows reused (%d from tails)\n",
 			rep.Prefix.Published, 100*rep.Prefix.HitRate(), rep.Prefix.RowsReused, rep.Prefix.TailRows)
 	}
@@ -143,17 +222,17 @@ func main() {
 		fmt.Printf("  preemptions          : %d (re-computed %d generated tokens)\n",
 			rep.Preempted, rep.RecomputeTokens)
 	}
-	eager := int64(*sessions) * int64(cfg.MaxSeq) * int64(cfg.Layers*cfg.Heads*2)
+	eager := int64(o.sessions) * int64(cfg.MaxSeq) * int64(cfg.Layers*cfg.Heads*2)
 	fmt.Printf("  vs eager allocation  : %d rows backed instead of %d (%.1fx less)\n",
 		rep.Pool.AllocatedRows(), eager, float64(eager)/float64(rep.Pool.AllocatedRows()))
 
-	if *compare {
+	if o.compare {
 		fmt.Println()
 		cmp := bench.CompareServing(res, bench.ServingOptions{
-			Sessions: *sessions, PromptLen: *promptLen, Stride: *stride,
-			MaxNew: *maxNew, Workers: *workers, BlockRows: *blockRows,
-			Threshold:    *threshold,
-			HeadParallel: tokenpicker.ResolveParallel(*parallel),
+			Sessions: o.sessions, PromptLen: o.promptLen, Stride: o.stride,
+			MaxNew: o.maxNew, Workers: o.workers, BlockRows: o.blockRows,
+			Threshold:    o.threshold,
+			HeadParallel: tokenpicker.ResolveParallel(o.parallel),
 		})
 		fmt.Println(bench.ServingTable(cmp).String())
 
@@ -161,11 +240,11 @@ func main() {
 		// repeated prefixes (system prompts, chat history), so demo it on a
 		// shared-prefix fleet.
 		po := bench.DefaultPrefixServingOptions()
-		po.Sessions = *sessions
-		po.MaxNew = *maxNew
-		po.Workers = *workers
-		po.BlockRows = *blockRows
-		po.Threshold = *threshold
+		po.Sessions = o.sessions
+		po.MaxNew = o.maxNew
+		po.Workers = o.workers
+		po.BlockRows = o.blockRows
+		po.Threshold = o.threshold
 		fmt.Println(bench.PrefixServingTable(bench.ComparePrefixServing(res, po)).String())
 	}
 }

@@ -1,65 +1,90 @@
-// Chatbot-style decode loop: the workload the paper's introduction
-// motivates. A long "conversation history" sits in the KV cache; each new
-// token's attention must stream that cache from DRAM. The example generates
-// a response token by token and prints live pruning statistics per step,
-// showing how the pruning ratio grows with context length while the per-step
-// retained set stays small — exactly why attention stays memory-bound
-// without pruning and stops being so with it.
+// Chatbot-style serving loop on generation API v2: the workload the
+// paper's introduction motivates, driven entirely through the root
+// package. A long "conversation history" sits in the KV cache; each user
+// turn submits a typed GenerateRequest (full sampling config, stop
+// sequences) and consumes the reply as an event stream with per-token
+// timing. Between turns the growing history repeats its prefix, so the
+// prefix-sharing index adopts the cached KV rows instead of re-prefilling
+// them — the structural serving win for chat traffic — while live fleet
+// statistics show the pruning ratio growing with context length.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"tokenpicker"
-	"tokenpicker/internal/tensor"
 )
 
 func main() {
 	res := tokenpicker.TrainDemoModel()
-	kernel := tokenpicker.NewKernel(1e-3)
-	dec := tokenpicker.NewDecoder(res.Params, kernel)
+	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
+		Workers:     2,
+		SharePrefix: true, // chat turns repeat the history prefix
+		NewKernel:   func() tokenpicker.Kernel { return tokenpicker.NewKernel(1e-3) },
+	})
 
-	// A long conversation history (held-out corpus stands in for user turns).
-	history := res.Held[:640]
-	logits := dec.MustPrompt(history)
-	fmt.Printf("conversation history: %d tokens in the KV cache\n\n", len(history))
-	fmt.Println("step  token  context  kept-this-step  cum-V-ratio  cum-K-red")
+	// The conversation so far (held-out corpus stands in for user turns).
+	history := append([]int(nil), res.Held[:512]...)
+	fmt.Printf("conversation history: %d tokens\n", len(history))
 
-	rng := rand.New(rand.NewSource(3))
-	tok := sampleTok(rng, logits)
-	prevKept := int64(0)
-	prevTokens := int64(0)
-	for step := 1; step <= 48; step++ {
-		logits = dec.MustStep(tok)
-		st := kernel.Stats()
-		keptStep := st.Kept - prevKept
-		tokensStep := st.Tokens - prevTokens
-		prevKept, prevTokens = st.Kept, st.Tokens
-		if step%6 == 0 || step == 1 {
-			fmt.Printf("%4d  %5d  %7d  %8d/%-5d  %10.1fx  %8.2fx\n",
-				step, tok, dec.Len(), keptStep, tokensStep,
-				st.PruningRatio(), st.KReduction())
+	// End a reply when the model emits this token pair — a stand-in for an
+	// end-of-turn marker. With the fixed seeds below the first turn emits
+	// it mid-reply, so the demo shows a "stop" finish alongside "length".
+	stopSeq := []int{16, 16}
+
+	for turn := 1; turn <= 3; turn++ {
+		// A new user turn extends the history; the prompt therefore repeats
+		// everything the previous turns already prefilled.
+		history = append(history, res.Held[512+turn*16:520+turn*16]...)
+
+		st, err := srv.Submit(context.Background(), tokenpicker.GenerateRequest{
+			Prompt:    history,
+			MaxTokens: 48,
+			Sampling: tokenpicker.SamplingConfig{
+				Temperature:       0.8,
+				TopK:              40,
+				TopP:              0.95,
+				RepetitionPenalty: 1.1,
+				Seed:              int64(turn),
+			},
+			Stop: [][]int{stopSeq},
+		})
+		if err != nil {
+			panic(err)
 		}
-		tok = sampleTok(rng, logits)
-	}
 
-	st := kernel.Stats()
-	fmt.Printf("\nresponse generated with %.1fx fewer V fetches and %.2fx fewer K bytes\n",
-		st.PruningRatio(), st.KReduction())
-	fmt.Printf("(%d attention instances over %d cached tokens)\n", st.Instances, st.Tokens)
-}
-
-func sampleTok(rng *rand.Rand, logits []float32) int {
-	probs := make([]float32, len(logits))
-	tensor.Softmax(probs, logits)
-	u := rng.Float64()
-	var acc float64
-	for i, p := range probs {
-		acc += float64(p)
-		if u <= acc {
-			return i
+		fmt.Printf("\nturn %d (%d prompt tokens):\n", turn, len(history))
+		fmt.Println("  idx  token  elapsed     context  cum-V-ratio")
+		var reply []int
+		for ev := range st.Events() {
+			reply = append(reply, ev.Token)
+			if ev.Index%8 == 0 {
+				stats := srv.Report().Attn
+				fmt.Printf("  %3d  %5d  %-10v  %7d  %10.1fx\n",
+					ev.Index, ev.Token, ev.Elapsed.Round(1000),
+					len(history)+ev.Index+1, stats.PruningRatio())
+			}
 		}
+		r := st.Result()
+		switch r.Reason {
+		case tokenpicker.FinishStop:
+			fmt.Printf("  reply: %d tokens, ended by stop sequence %v\n", len(reply), r.StopTokens)
+		default:
+			fmt.Printf("  reply: %d tokens (%s)\n", len(reply), r.Reason)
+		}
+		fmt.Printf("  usage: prompt %d (%d KV rows adopted from cache), generated %d, TTFT %v\n",
+			r.Usage.PromptTokens, r.Usage.PrefixHitRows, r.Usage.GeneratedTokens,
+			r.TTFT.Round(1000))
+
+		// The assistant's reply joins the history for the next turn.
+		history = append(history, reply...)
 	}
-	return len(probs) - 1
+	srv.Close()
+
+	rep := srv.Report()
+	fmt.Printf("\nfleet: %d turns served, pruning ratio %.1fx, K reduction %.2fx\n",
+		rep.Completed(), rep.Attn.PruningRatio(), rep.Attn.KReduction())
+	fmt.Printf("prefix cache: hit rate %.0f%%, %d KV rows reused across turns\n",
+		100*rep.Prefix.HitRate(), rep.Prefix.RowsReused)
 }

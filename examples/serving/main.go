@@ -39,11 +39,14 @@ func main() {
 	system := res.Held[:64]
 	submit := func(i int) *tokenpicker.ServeStream {
 		prompt := append(append([]int(nil), system...), res.Held[80+i*24:96+i*24]...)
-		st, err := srv.Submit(context.Background(), tokenpicker.ServeRequest{
-			Prompt:       prompt,
-			MaxNewTokens: 32,
-			Temperature:  0.8,
-			Seed:         int64(i + 1),
+		st, err := srv.Submit(context.Background(), tokenpicker.GenerateRequest{
+			Prompt:    prompt,
+			MaxTokens: 32,
+			Sampling: tokenpicker.SamplingConfig{
+				Temperature: 0.8,
+				TopK:        32,
+				Seed:        int64(i + 1),
+			},
 		})
 		if err != nil {
 			panic(err)
@@ -52,7 +55,7 @@ func main() {
 	}
 	streams := make([]*tokenpicker.ServeStream, sessions)
 	streams[0] = submit(0)
-	first, ok := <-streams[0].Tokens // prefix published at first-token time
+	first, ok := <-streams[0].Events() // prefix published at first-token time
 	for i := 1; i < sessions; i++ {
 		streams[i] = submit(i)
 	}
@@ -62,14 +65,14 @@ func main() {
 	for i, st := range streams {
 		var toks []int
 		if i == 0 && ok {
-			toks = append(toks, first) // consumed above to await publication
+			toks = append(toks, first.Token) // consumed above to await publication
 		}
-		for tok := range st.Tokens { // closed when the session finishes
-			toks = append(toks, tok)
+		for ev := range st.Events() { // closed when the session finishes
+			toks = append(toks, ev.Token)
 		}
 		r := st.Result()
 		fmt.Printf("session %d: %2d tokens (%s, first token after %v) %v...\n",
-			i, r.Generated, r.Reason, r.TTFT.Round(1000), toks[:min(6, len(toks))])
+			i, r.Usage.GeneratedTokens, r.Reason, r.TTFT.Round(1000), toks[:min(6, len(toks))])
 	}
 	srv.Close()
 

@@ -111,8 +111,8 @@ func ComparePrefixServing(r *train.Result, o PrefixServingOptions) PrefixServing
 		toks = make([][]int, len(prompts))
 		var ttftSum float64
 		submit := func(i int) *serve.Stream {
-			st, err := srv.Submit(context.Background(), serve.Request{
-				Prompt: prompts[i], MaxNewTokens: o.MaxNew,
+			st, err := srv.Submit(context.Background(), serve.GenerateRequest{
+				Prompt: prompts[i], MaxTokens: o.MaxNew,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("bench: submit %d: %v", i, err))
@@ -120,8 +120,8 @@ func ComparePrefixServing(r *train.Result, o PrefixServingOptions) PrefixServing
 			return st
 		}
 		st0 := submit(0)
-		for tok := range st0.Tokens {
-			toks[0] = append(toks[0], tok)
+		for ev := range st0.Events() {
+			toks[0] = append(toks[0], ev.Token)
 		}
 		ttftSum += st0.Result().TTFT.Seconds()
 		streams := make([]*serve.Stream, len(prompts))
@@ -129,8 +129,8 @@ func ComparePrefixServing(r *train.Result, o PrefixServingOptions) PrefixServing
 			streams[i] = submit(i)
 		}
 		for i := 1; i < len(prompts); i++ {
-			for tok := range streams[i].Tokens {
-				toks[i] = append(toks[i], tok)
+			for ev := range streams[i].Events() {
+				toks[i] = append(toks[i], ev.Token)
 			}
 			ttftSum += streams[i].Result().TTFT.Seconds()
 		}

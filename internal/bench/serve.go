@@ -132,7 +132,7 @@ func CompareServing(r *train.Result, o ServingOptions) ServingResult {
 	start = time.Now()
 	streams := make([]*serve.Stream, len(prompts))
 	for i, p := range prompts {
-		st, err := srv.Submit(context.Background(), serve.Request{Prompt: p, MaxNewTokens: o.MaxNew})
+		st, err := srv.Submit(context.Background(), serve.GenerateRequest{Prompt: p, MaxTokens: o.MaxNew})
 		if err != nil {
 			panic(fmt.Sprintf("bench: submit: %v", err))
 		}
@@ -142,7 +142,7 @@ func CompareServing(r *train.Result, o ServingOptions) ServingResult {
 	var batchedTTFT float64
 	for _, st := range streams {
 		res := st.Result()
-		batchedToks += int64(res.Generated)
+		batchedToks += int64(res.Usage.GeneratedTokens)
 		batchedTTFT += res.TTFT.Seconds()
 	}
 	batchedSec := time.Since(start).Seconds()

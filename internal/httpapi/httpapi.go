@@ -1,0 +1,341 @@
+// Package httpapi is the HTTP/SSE front-end of the serving engine: an
+// OpenAI-style completions endpoint over the transport-agnostic generation
+// API v2 (serve.GenerateRequest / serve.Stream / serve.Result).
+//
+// Routes:
+//
+//	POST /v1/completions — JSON completion request; blocking JSON response,
+//	     or Server-Sent Events when "stream": true (one JSON chunk per
+//	     token, a final chunk carrying finish_reason and usage, then the
+//	     literal "data: [DONE]" terminator).
+//	GET  /v1/stats       — engine Report (session/token counters, attention
+//	     transfer statistics, KV pool, prefix index) as JSON.
+//	GET  /healthz        — liveness probe ("ok" once the engine accepts
+//	     requests); CI and load balancers poll it while the model warms up.
+//
+// Request validation failures map to 400 with the offending field,
+// admission backpressure (serve.ErrBusy) to 429, and a closed engine to
+// 503. A client disconnect cancels the session at its next scheduling
+// quantum via the request context.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tokenpicker/internal/sample"
+	"tokenpicker/internal/serve"
+)
+
+// Options configures the front-end.
+type Options struct {
+	// Model is the model name echoed in responses (default "topick").
+	Model string
+	// Detok decodes one token id for the "text" fields; nil leaves them
+	// empty and responses carry token ids only. (The engine-side
+	// serve.Config.Detokenize hook feeds streamed events the same way; set
+	// both to the same function for consistent output.)
+	Detok func(token int) string
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Handler serves the HTTP API over one engine.
+type Handler struct {
+	engine *serve.Server
+	opts   Options
+	mux    *http.ServeMux
+	start  time.Time
+	nextID atomic.Int64
+}
+
+// New builds the front-end handler over a running engine.
+func New(engine *serve.Server, opts Options) *Handler {
+	if opts.Model == "" {
+		opts.Model = "topick"
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	h := &Handler{engine: engine, opts: opts, mux: http.NewServeMux(), start: time.Now()}
+	h.mux.HandleFunc("POST /v1/completions", h.completions)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// completionRequest is the POST /v1/completions body. Prompt and stop
+// sequences are token ids — the bundled model speaks the synthetic-corpus
+// vocabulary, which has no canonical text encoding. Unknown fields are
+// ignored (stock OpenAI SDKs send "n", "stream_options", "user", ...).
+type completionRequest struct {
+	// Model is accepted for OpenAI-client compatibility; the engine serves
+	// exactly one model, so it is echoed back rather than dispatched on.
+	Model             string             `json:"model"`
+	Prompt            []int              `json:"prompt"`
+	MaxTokens         int                `json:"max_tokens"`
+	Temperature       float64            `json:"temperature"`
+	TopK              int                `json:"top_k"`
+	TopP              float64            `json:"top_p"`
+	MinP              float64            `json:"min_p"`
+	RepetitionPenalty float64            `json:"repetition_penalty"`
+	Seed              int64              `json:"seed"`
+	Stop              [][]int            `json:"stop"`
+	LogitBias         map[string]float32 `json:"logit_bias"`
+	Stream            bool               `json:"stream"`
+}
+
+// completionResponse is both the blocking response and the SSE chunk shape.
+type completionResponse struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Created int64    `json:"created"`
+	Model   string   `json:"model"`
+	Choices []choice `json:"choices"`
+	Usage   *usage   `json:"usage,omitempty"`
+	// Error carries the terminal engine error on the final SSE chunk of a
+	// failed stream (the HTTP status was already committed as 200).
+	Error string `json:"error,omitempty"`
+}
+
+type choice struct {
+	Index        int    `json:"index"`
+	Tokens       []int  `json:"tokens"`
+	Text         string `json:"text"`
+	FinishReason string `json:"finish_reason,omitempty"`
+	// StopSeq identifies which "stop" sequence matched when finish_reason
+	// is "stop".
+	StopSeq *int `json:"stop_seq,omitempty"`
+}
+
+type usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+	PrefixHitRows    int `json:"prefix_hit_rows"`
+	RecomputeTokens  int `json:"recompute_tokens"`
+}
+
+type apiError struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+		Field   string `json:"field,omitempty"`
+	} `json:"error"`
+}
+
+func (h *Handler) writeError(w http.ResponseWriter, status int, typ, field, msg string) {
+	var e apiError
+	e.Error.Message = msg
+	e.Error.Type = typ
+	e.Error.Field = field
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e)
+}
+
+// submitError maps an engine admission failure to a transport status.
+func (h *Handler) submitError(w http.ResponseWriter, err error) {
+	var ve *serve.ValidationError
+	switch {
+	case errors.As(err, &ve):
+		h.writeError(w, http.StatusBadRequest, "invalid_request_error", ve.Field, ve.Error())
+	case errors.Is(err, serve.ErrInvalidRequest) || errors.Is(err, sample.ErrInvalidConfig):
+		h.writeError(w, http.StatusBadRequest, "invalid_request_error", "", err.Error())
+	case errors.Is(err, serve.ErrBusy):
+		h.writeError(w, http.StatusTooManyRequests, "rate_limit_error", "", err.Error())
+	case errors.Is(err, serve.ErrServerClosed):
+		h.writeError(w, http.StatusServiceUnavailable, "server_error", "", err.Error())
+	default:
+		h.writeError(w, http.StatusInternalServerError, "server_error", "", err.Error())
+	}
+}
+
+// toGenerateRequest lowers the wire request onto the engine contract.
+func (cr *completionRequest) toGenerateRequest() (serve.GenerateRequest, error) {
+	req := serve.GenerateRequest{
+		Prompt:    cr.Prompt,
+		MaxTokens: cr.MaxTokens,
+		Stop:      cr.Stop,
+		Sampling: sample.Config{
+			Temperature:       cr.Temperature,
+			TopK:              cr.TopK,
+			TopP:              cr.TopP,
+			MinP:              cr.MinP,
+			RepetitionPenalty: cr.RepetitionPenalty,
+			Seed:              cr.Seed,
+		},
+	}
+	if len(cr.LogitBias) > 0 {
+		req.Sampling.LogitBias = make(map[int]float32, len(cr.LogitBias))
+		for k, v := range cr.LogitBias {
+			tok, err := strconv.Atoi(k)
+			if err != nil {
+				return req, fmt.Errorf("logit_bias key %q is not a token id", k)
+			}
+			req.Sampling.LogitBias[tok] = v
+		}
+	}
+	return req, nil
+}
+
+func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	var cr completionRequest
+	if err := dec.Decode(&cr); err != nil {
+		h.writeError(w, http.StatusBadRequest, "invalid_request_error", "", "malformed JSON body: "+err.Error())
+		return
+	}
+	req, err := cr.toGenerateRequest()
+	if err != nil {
+		h.writeError(w, http.StatusBadRequest, "invalid_request_error", "logit_bias", err.Error())
+		return
+	}
+	// The request context carries the client connection: a disconnect
+	// cancels the session engine-side at its next scheduling quantum.
+	st, err := h.engine.Submit(r.Context(), req)
+	if err != nil {
+		h.submitError(w, err)
+		return
+	}
+	id := fmt.Sprintf("cmpl-%d-%d", h.start.UnixNano(), h.nextID.Add(1))
+	if cr.Stream {
+		h.streamCompletion(w, st, id)
+		return
+	}
+
+	var toks []int
+	var text strings.Builder
+	for ev := range st.Events() {
+		toks = append(toks, ev.Token)
+		h.appendText(&text, ev)
+	}
+	res := st.Result()
+	if res.Reason == serve.ReasonRejected {
+		// Admission succeeded but the engine could not finish the session
+		// (KV pool exhausted beyond reclamation): a capacity failure, not a
+		// completion — clients must see a 5xx, not an empty 200.
+		msg := "engine rejected the session mid-flight"
+		if res.Err != nil {
+			msg = res.Err.Error()
+		}
+		h.writeError(w, http.StatusServiceUnavailable, "server_error", "", msg)
+		return
+	}
+	resp := h.response(id, res)
+	resp.Choices = []choice{h.choice(toks, text.String(), &res)}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// streamCompletion writes the SSE variant: one chunk per event, a final
+// chunk with the finish reason and usage, then the [DONE] terminator.
+func (h *Handler) streamCompletion(w http.ResponseWriter, st *serve.Stream, id string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		st.Cancel()
+		st.Result() // drain so the session's terminal state is settled
+		h.writeError(w, http.StatusInternalServerError, "server_error", "", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	writeChunk := func(resp completionResponse) {
+		fmt.Fprint(w, "data: ")
+		enc.Encode(resp) // Encode terminates the line
+		fmt.Fprint(w, "\n")
+		flusher.Flush()
+	}
+	for ev := range st.Events() {
+		resp := h.response(id, serve.Result{})
+		resp.Usage = nil
+		var text strings.Builder
+		h.appendText(&text, ev)
+		resp.Choices = []choice{{Index: 0, Tokens: []int{ev.Token}, Text: text.String()}}
+		writeChunk(resp)
+	}
+	res := st.Result()
+	final := h.response(id, res)
+	final.Choices = []choice{h.choice([]int{}, "", &res)}
+	if res.Err != nil {
+		// The 200 header is long gone on a stream; the terminal engine
+		// error (pool rejection, cancellation cause) rides the final chunk
+		// so SSE clients can distinguish failure from a clean finish.
+		final.Error = res.Err.Error()
+	}
+	writeChunk(final)
+	fmt.Fprint(w, "data: [DONE]\n\n")
+	flusher.Flush()
+}
+
+// appendText decodes ev into b: the engine-side event text when present,
+// else the handler's Detok hook.
+func (h *Handler) appendText(b *strings.Builder, ev serve.Event) {
+	switch {
+	case ev.Text != "":
+		b.WriteString(ev.Text)
+	case h.opts.Detok != nil:
+		b.WriteString(h.opts.Detok(ev.Token))
+	}
+}
+
+func (h *Handler) response(id string, res serve.Result) completionResponse {
+	return completionResponse{
+		ID:      id,
+		Object:  "text_completion",
+		Created: time.Now().Unix(),
+		Model:   h.opts.Model,
+		Usage: &usage{
+			PromptTokens:     res.Usage.PromptTokens,
+			CompletionTokens: res.Usage.GeneratedTokens,
+			TotalTokens:      res.Usage.TotalTokens(),
+			PrefixHitRows:    res.Usage.PrefixHitRows,
+			RecomputeTokens:  res.Usage.RecomputeTokens,
+		},
+	}
+}
+
+func (h *Handler) choice(toks []int, text string, res *serve.Result) choice {
+	c := choice{Index: 0, Tokens: toks, Text: text, FinishReason: string(res.Reason)}
+	if res.Reason == serve.ReasonStop {
+		seq := res.StopSeq
+		c.StopSeq = &seq
+	}
+	return c
+}
+
+// statsResponse is the GET /v1/stats body.
+type statsResponse struct {
+	Model         string       `json:"model"`
+	APIVersion    int          `json:"api_version"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Report        serve.Report `json:"report"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsResponse{
+		Model:         h.opts.Model,
+		APIVersion:    serve.APIVersion,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Report:        h.engine.Report(),
+	})
+}

@@ -1,0 +1,446 @@
+// Package sample is the generation-side sampling subsystem: it turns one
+// vector of next-token logits into one token id. A Chain composes the
+// standard transforms in a fixed order — repetition penalty → logit bias →
+// top-k → top-p (nucleus) → min-p → temperature → multinomial draw — and is
+// deterministic given (seed, logits, history): the same chain fed the same
+// inputs picks the same token on every platform, which is what makes
+// seeded generation reproducible across cache providers, executor widths,
+// and prefix sharing.
+//
+// The zero-value Config is greedy argmax, bit-identical to the pre-chain
+// serving path (tensor.Argmax over raw logits). Steady-state Sample calls
+// allocate nothing: all scratch is grown once and reused.
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tokenpicker/internal/tensor"
+)
+
+// ErrInvalidConfig is the sentinel every *ConfigError matches with
+// errors.Is; callers that do not care which field failed test against it.
+var ErrInvalidConfig = errors.New("sample: invalid config")
+
+// ConfigError is the typed validation failure of one Config field. It
+// unwraps to ErrInvalidConfig.
+type ConfigError struct {
+	Field  string // the offending field, e.g. "temperature", "seed"
+	Reason string // human-readable violation
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sample: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Is reports ErrInvalidConfig so errors.Is matches without losing the
+// field-level detail available via errors.As.
+func (e *ConfigError) Is(target error) bool { return target == ErrInvalidConfig }
+
+// MinTemperature is the smallest accepted positive temperature: far below
+// any practical setting, far above where float32(1/T) scaling overflows.
+const MinTemperature = 1e-6
+
+// Config is the full sampling configuration of one generation request.
+// The zero value means greedy argmax decoding.
+type Config struct {
+	// Temperature scales logits before the final draw. 0 selects greedy
+	// argmax decoding; negative values are invalid. Because greedy decoding
+	// consumes no randomness, combining Temperature == 0 with a non-zero
+	// Seed, TopK, TopP, or MinP is a contradiction Validate rejects instead
+	// of silently ignoring fields.
+	Temperature float64
+	// TopK keeps only the K highest-logit candidates (0 = off). Ties at the
+	// K-th value are broken toward lower token ids, deterministically.
+	TopK int
+	// TopP keeps the smallest candidate set whose cumulative probability
+	// reaches TopP, in descending-probability order (0 or 1 = off).
+	TopP float64
+	// MinP drops candidates whose probability is below MinP times the top
+	// candidate's probability (0 = off). Applied after TopK/TopP.
+	MinP float64
+	// RepetitionPenalty > 0 penalizes every token present in the supplied
+	// history: positive logits are divided by it, negative ones multiplied
+	// (0 = off, 1 = neutral).
+	RepetitionPenalty float64
+	// LogitBias adds a per-token offset to the logits before filtering; use
+	// a large negative value to ban a token. Applied with greedy decoding
+	// too (it is deterministic).
+	LogitBias map[int]float32
+	// Seed seeds the multinomial draw; sequences with the same seed and
+	// config re-generate identically.
+	Seed int64
+}
+
+// Greedy reports whether the config selects deterministic argmax decoding.
+func (c Config) Greedy() bool { return c.Temperature == 0 }
+
+// Validate checks every field and returns a *ConfigError for the first
+// violation; contradictory settings (stochastic knobs combined with greedy
+// temperature) are rejected rather than silently dropped.
+func (c Config) Validate() error {
+	if c.Temperature < 0 || math.IsNaN(c.Temperature) || math.IsInf(c.Temperature, 0) {
+		return &ConfigError{Field: "temperature", Reason: fmt.Sprintf("must be 0 (greedy) or a positive finite value, got %g", c.Temperature)}
+	}
+	// A positive temperature below the float32 regime would overflow the
+	// 1/T scaling to +Inf and poison the softmax with NaNs; anyone reaching
+	// for "almost greedy" wants exactly greedy.
+	if c.Temperature > 0 && c.Temperature < MinTemperature {
+		return &ConfigError{Field: "temperature", Reason: fmt.Sprintf("positive temperature must be >= %g (use 0 for greedy), got %g", MinTemperature, c.Temperature)}
+	}
+	if c.TopK < 0 {
+		return &ConfigError{Field: "top_k", Reason: fmt.Sprintf("must be >= 0, got %d", c.TopK)}
+	}
+	if c.TopP < 0 || c.TopP > 1 || math.IsNaN(c.TopP) {
+		return &ConfigError{Field: "top_p", Reason: fmt.Sprintf("must be in [0, 1], got %g", c.TopP)}
+	}
+	if c.MinP < 0 || c.MinP >= 1 || math.IsNaN(c.MinP) {
+		return &ConfigError{Field: "min_p", Reason: fmt.Sprintf("must be in [0, 1), got %g", c.MinP)}
+	}
+	if c.RepetitionPenalty < 0 || math.IsNaN(c.RepetitionPenalty) || math.IsInf(c.RepetitionPenalty, 0) {
+		return &ConfigError{Field: "repetition_penalty", Reason: fmt.Sprintf("must be 0 (off) or positive, got %g", c.RepetitionPenalty)}
+	}
+	for tok, b := range c.LogitBias {
+		if tok < 0 {
+			return &ConfigError{Field: "logit_bias", Reason: fmt.Sprintf("token id %d is negative", tok)}
+		}
+		// -Inf is the canonical "ban this token" bias and stays legal; NaN
+		// and +Inf would poison the softmax.
+		if f := float64(b); math.IsNaN(f) || math.IsInf(f, 1) {
+			return &ConfigError{Field: "logit_bias", Reason: fmt.Sprintf("bias for token %d must not be NaN or +Inf", tok)}
+		}
+	}
+	if c.Greedy() {
+		// Greedy decoding consumes no randomness and keeps only the argmax,
+		// so every stochastic knob would be silently dead weight. The old
+		// API dropped these fields; the typed error forces the caller to
+		// state what they actually want.
+		switch {
+		case c.Seed != 0:
+			return &ConfigError{Field: "seed", Reason: "seed is set but temperature is 0 (greedy): greedy decoding ignores the seed; set temperature > 0 or drop the seed"}
+		case c.TopK != 0:
+			return &ConfigError{Field: "top_k", Reason: "top_k is set but temperature is 0 (greedy); set temperature > 0 or drop top_k"}
+		case c.TopP != 0 && c.TopP != 1:
+			// TopP == 1 is "off" (the whole distribution), which many
+			// clients send unconditionally; only a real nucleus cutoff
+			// contradicts greedy decoding.
+			return &ConfigError{Field: "top_p", Reason: "top_p is set but temperature is 0 (greedy); set temperature > 0 or drop top_p"}
+		case c.MinP != 0:
+			return &ConfigError{Field: "min_p", Reason: "min_p is set but temperature is 0 (greedy); set temperature > 0 or drop min_p"}
+		}
+	}
+	return nil
+}
+
+// Sampler picks the next token id from next-token logits given the token
+// history (prompt plus generated tokens; only the repetition penalty reads
+// it). Implementations must not retain or mutate logits or history.
+type Sampler interface {
+	Sample(logits []float32, history []int) int
+}
+
+// Chain is the composable sampler: transforms applied in a fixed order,
+// then a greedy or seeded multinomial pick. One Chain belongs to one
+// generation session (it carries the rng and mutable scratch); build a new
+// one per request.
+type Chain struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Scratch, grown once to vocab size; Sample allocates nothing after the
+	// first call.
+	work    []float32 // transformed logits
+	probs   []float32 // softmax scratch
+	visited []bool    // repetition-penalty marks, cleared after use
+	sorter  probSorter
+}
+
+// New validates cfg and builds a chain for it.
+func New(cfg Config) (*Chain, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chain{cfg: cfg}
+	if !cfg.Greedy() {
+		c.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return c, nil
+}
+
+// MustNew is New for configs known valid; it panics otherwise.
+func MustNew(cfg Config) *Chain {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the chain's configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// negInf masks a filtered-out candidate; exp(-inf - max) underflows to an
+// exact 0 probability, so masked tokens can never be drawn.
+var negInf = float32(math.Inf(-1))
+
+// Sample implements Sampler. The pure-greedy fast path (no penalty, no
+// bias) reads the raw logits directly and is bit-identical to
+// tensor.Argmax — the pre-chain serving behaviour.
+func (c *Chain) Sample(logits []float32, history []int) int {
+	if c.cfg.Greedy() && c.cfg.RepetitionPenalty == 0 && len(c.cfg.LogitBias) == 0 {
+		return tensor.Argmax(logits)
+	}
+	n := len(logits)
+	c.grow(n)
+	work := c.work[:n]
+	copy(work, logits)
+
+	c.applyPenalty(work, history)
+	for tok, b := range c.cfg.LogitBias {
+		if tok < n {
+			work[tok] += b
+		}
+	}
+	if c.cfg.Greedy() {
+		return tensor.Argmax(work)
+	}
+	c.applyTopK(work)
+	c.applyTopPMinP(work)
+	// Temperature is applied after the filters — the chain's contract is
+	// penalties → top-k → top-p → min-p → temperature → draw. Note the
+	// consequence: the top-p/min-p cutoffs are computed on the un-tempered
+	// distribution (top-k is rank-based and unaffected), so a hot
+	// temperature flattens the draw *within* the nucleus rather than
+	// widening the nucleus itself. Implementations that temper first (e.g.
+	// HF) select differently at the same settings; the reference
+	// implementation in the tests pins this order.
+	inv := float32(1 / c.cfg.Temperature)
+	for i, v := range work {
+		if v != negInf {
+			work[i] = v * inv
+		}
+	}
+	return c.multinomial(work)
+}
+
+// grow sizes the scratch to the vocabulary once.
+func (c *Chain) grow(n int) {
+	if cap(c.work) < n {
+		c.work = make([]float32, n)
+		c.probs = make([]float32, n)
+		c.sorter.idx = make([]int, n)
+		c.visited = make([]bool, n)
+	}
+}
+
+// applyPenalty divides positive logits of history tokens by the penalty and
+// multiplies negative ones (CTRL-style), once per distinct token.
+func (c *Chain) applyPenalty(work []float32, history []int) {
+	p := float32(c.cfg.RepetitionPenalty)
+	if p == 0 || p == 1 || len(history) == 0 {
+		return
+	}
+	visited := c.visited[:len(work)]
+	for _, t := range history {
+		if t < 0 || t >= len(work) || visited[t] {
+			continue
+		}
+		visited[t] = true
+		if work[t] > 0 {
+			work[t] /= p
+		} else {
+			work[t] *= p
+		}
+	}
+	for _, t := range history {
+		if t >= 0 && t < len(work) {
+			visited[t] = false
+		}
+	}
+}
+
+// applyTopK masks everything but the K highest logits. Ties at the K-th
+// value keep lower token ids, so the kept set is deterministic.
+func (c *Chain) applyTopK(work []float32) {
+	k := c.cfg.TopK
+	if k <= 0 || k >= len(work) {
+		return
+	}
+	// The K-th largest value via a full sort of an index permutation would
+	// be O(V log V); a value copy plus quickselect stays O(V) expected and
+	// reuses the probs scratch.
+	vals := c.probs[:len(work)]
+	copy(vals, work)
+	thresh := quickselect(vals, k)
+	// Keep strictly-above first, then fill the remainder with == thresh in
+	// ascending id order.
+	kept := 0
+	for _, v := range work {
+		if v > thresh {
+			kept++
+		}
+	}
+	fill := k - kept
+	for i, v := range work {
+		switch {
+		case v > thresh:
+		case v == thresh && fill > 0:
+			fill--
+		default:
+			work[i] = negInf
+		}
+	}
+}
+
+// quickselect returns the k-th largest value of vals (1-based), reordering
+// vals in place. Deterministic median-of-three pivoting.
+func quickselect(vals []float32, k int) float32 {
+	lo, hi := 0, len(vals)-1
+	want := k - 1 // index of the k-th largest in descending order
+	for lo < hi {
+		p := partitionDesc(vals, lo, hi)
+		switch {
+		case p == want:
+			return vals[p]
+		case p < want:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return vals[lo]
+}
+
+// partitionDesc partitions vals[lo:hi+1] descending around a median-of-three
+// pivot and returns its final index.
+func partitionDesc(vals []float32, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Order lo/mid/hi descending so vals[mid] is the median.
+	if vals[mid] > vals[lo] {
+		vals[mid], vals[lo] = vals[lo], vals[mid]
+	}
+	if vals[hi] > vals[lo] {
+		vals[hi], vals[lo] = vals[lo], vals[hi]
+	}
+	if vals[hi] > vals[mid] {
+		vals[hi], vals[mid] = vals[mid], vals[hi]
+	}
+	pivot := vals[mid]
+	vals[mid], vals[hi] = vals[hi], vals[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if vals[i] > pivot {
+			vals[i], vals[store] = vals[store], vals[i]
+			store++
+		}
+	}
+	vals[store], vals[hi] = vals[hi], vals[store]
+	return store
+}
+
+// probSorter sorts token indices by descending probability, ties toward
+// lower ids — a deterministic total order.
+type probSorter struct {
+	probs []float32
+	idx   []int
+}
+
+func (s *probSorter) Len() int      { return len(s.idx) }
+func (s *probSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *probSorter) Less(i, j int) bool {
+	pi, pj := s.probs[s.idx[i]], s.probs[s.idx[j]]
+	if pi != pj {
+		return pi > pj
+	}
+	return s.idx[i] < s.idx[j]
+}
+
+// applyTopPMinP applies nucleus (top-p) and min-p filtering over the
+// softmax of the current working logits. Both read the same probability
+// vector, computed once.
+func (c *Chain) applyTopPMinP(work []float32) {
+	topP, minP := c.cfg.TopP, c.cfg.MinP
+	nucleus := topP > 0 && topP < 1
+	if !nucleus && minP == 0 {
+		return
+	}
+	probs := c.probs[:len(work)]
+	tensor.Softmax(probs, work)
+
+	if nucleus {
+		idx := c.sorter.idx[:len(work)]
+		for i := range idx {
+			idx[i] = i
+		}
+		c.sorter.probs = probs
+		sort.Sort(&c.sorter)
+		// Keep the smallest prefix whose cumulative probability reaches
+		// TopP; the top candidate always survives.
+		var cum float64
+		cut := len(idx)
+		for i, id := range idx {
+			cum += float64(probs[id])
+			if cum >= topP {
+				cut = i + 1
+				break
+			}
+		}
+		for _, id := range idx[cut:] {
+			work[id] = negInf
+		}
+	}
+	if minP > 0 {
+		var pmax float32
+		for i, p := range probs {
+			if work[i] != negInf && p > pmax {
+				pmax = p
+			}
+		}
+		floor := float32(minP) * pmax
+		for i, p := range probs {
+			if work[i] != negInf && p < floor {
+				work[i] = negInf
+			}
+		}
+	}
+}
+
+// multinomial draws one token from softmax(work). The CDF walk scales the
+// uniform draw by the actual probability mass instead of assuming it sums
+// to exactly 1: float rounding can leave the accumulated sum short of (or
+// past) 1, and the historical walk ("u <= acc over an assumed-1 total")
+// could fall off the end and silently return the last vocab index — a
+// token that may have probability zero. Here target = u * total < total,
+// the walk skips zero-probability (masked) candidates, and the fallback is
+// the last live candidate, so a masked token can never be drawn.
+func (c *Chain) multinomial(work []float32) int {
+	probs := c.probs[:len(work)]
+	tensor.Softmax(probs, work)
+	var total float64
+	for _, p := range probs {
+		total += float64(p)
+	}
+	target := c.rng.Float64() * total
+	var acc float64
+	last := -1
+	for i, p := range probs {
+		if p == 0 {
+			continue
+		}
+		acc += float64(p)
+		if acc > target {
+			return i
+		}
+		last = i
+	}
+	if last < 0 {
+		// Degenerate input (all masked / all -inf): fall back to argmax of
+		// the working logits so the choice is still deterministic.
+		return tensor.Argmax(work)
+	}
+	return last
+}

@@ -1,0 +1,391 @@
+package sample
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tokenpicker/internal/tensor"
+)
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"negative temperature", Config{Temperature: -0.5}, "temperature"},
+		{"nan temperature", Config{Temperature: math.NaN()}, "temperature"},
+		{"inf temperature", Config{Temperature: math.Inf(1)}, "temperature"},
+		// float32(1/1e-40) is +Inf: an "almost greedy" temperature would
+		// NaN the softmax and deterministically pick the last vocab index.
+		{"subnormal temperature", Config{Temperature: 1e-40, Seed: 1}, "temperature"},
+		{"negative top-k", Config{Temperature: 1, TopK: -3}, "top_k"},
+		{"top-p over 1", Config{Temperature: 1, TopP: 1.5}, "top_p"},
+		{"negative top-p", Config{Temperature: 1, TopP: -0.1}, "top_p"},
+		{"min-p at 1", Config{Temperature: 1, MinP: 1}, "min_p"},
+		{"negative penalty", Config{Temperature: 1, RepetitionPenalty: -2}, "repetition_penalty"},
+		{"negative bias key", Config{Temperature: 1, LogitBias: map[int]float32{-1: 2}}, "logit_bias"},
+		{"nan bias", Config{Temperature: 1, LogitBias: map[int]float32{3: float32(math.NaN())}}, "logit_bias"},
+		// The satellite fix: greedy temperature with a stochastic knob set
+		// is a contradiction, not a silent field drop.
+		{"greedy with seed", Config{Seed: 7}, "seed"},
+		{"greedy with top-k", Config{TopK: 5}, "top_k"},
+		{"greedy with top-p", Config{TopP: 0.9}, "top_p"},
+		{"greedy with min-p", Config{MinP: 0.1}, "min_p"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", tc.cfg)
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %v does not match ErrInvalidConfig", err)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("error field %q, want %q (%v)", ce.Field, tc.field, err)
+			}
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatal("New accepted the invalid config")
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsReasonableConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		{}, // greedy
+		{RepetitionPenalty: 1.2, LogitBias: map[int]float32{3: -100}}, // greedy + deterministic transforms
+		{TopP: 1}, // top_p 1 means "off": OpenAI clients send it with greedy defaults
+		{Temperature: 0.7, Seed: 42},
+		{Temperature: 1, TopK: 40, TopP: 0.95, MinP: 0.05, RepetitionPenalty: 1.1, Seed: 9},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+}
+
+func TestGreedyIsArgmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := MustNew(Config{})
+	for trial := 0; trial < 50; trial++ {
+		logits := randomLogits(rng, 96)
+		if got, want := c.Sample(logits, nil), tensor.Argmax(logits); got != want {
+			t.Fatalf("trial %d: greedy chain picked %d, argmax %d", trial, got, want)
+		}
+	}
+}
+
+func TestLogitBiasBansToken(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	banned := 5
+	c := MustNew(Config{Temperature: 1, Seed: 3,
+		LogitBias: map[int]float32{banned: float32(math.Inf(-1))}})
+	for trial := 0; trial < 400; trial++ {
+		logits := randomLogits(rng, 32)
+		logits[banned] = 50 // would dominate without the bias
+		if got := c.Sample(logits, nil); got == banned {
+			t.Fatalf("trial %d: banned token sampled", trial)
+		}
+	}
+}
+
+func TestRepetitionPenaltyShiftsMass(t *testing.T) {
+	// A two-token distribution where 0 wins by a hair; a strong penalty on 0
+	// must flip the greedy choice to 1.
+	logits := []float32{1.0, 0.9, -8, -8}
+	c := MustNew(Config{RepetitionPenalty: 2})
+	if got := c.Sample(logits, []int{0}); got != 1 {
+		t.Fatalf("penalized greedy pick %d, want 1", got)
+	}
+	if got := c.Sample(logits, nil); got != 0 {
+		t.Fatalf("unpenalized greedy pick %d, want 0", got)
+	}
+	// Negative logits are multiplied, pushing them further down.
+	logits2 := []float32{-0.5, -0.6, -8, -8}
+	if got := c.Sample(logits2, []int{0}); got != 1 {
+		t.Fatalf("negative-logit penalty pick %d, want 1", got)
+	}
+}
+
+// TestTopKMasksOutsideSet draws many samples and asserts only the K
+// highest-logit tokens ever appear, with the K-th tie broken to lower ids.
+func TestTopKMasksOutsideSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const k = 4
+	c := MustNew(Config{Temperature: 5, TopK: k, Seed: 11}) // hot: spread mass wide
+	for trial := 0; trial < 100; trial++ {
+		logits := randomLogits(rng, 24)
+		keep := topKSet(logits, k)
+		for draw := 0; draw < 40; draw++ {
+			if got := c.Sample(logits, nil); !keep[got] {
+				t.Fatalf("trial %d: sampled %d outside the top-%d set", trial, got, k)
+			}
+		}
+	}
+}
+
+// TestMultinomialCDFRoundingRegression is the adversarial regression for
+// the seed bug: the historical CDF walk assumed the float32 probabilities
+// sum to >= u and silently returned the LAST VOCAB INDEX when rounding left
+// the accumulator short — even when that index was masked to probability
+// zero. Trailing masked tokens plus thousands of draws make any such
+// fallback certain to surface.
+func TestMultinomialCDFRoundingRegression(t *testing.T) {
+	// Logits descending with index, so top-k keeps ids {0,1}; every other
+	// index — including the final one the buggy walk falls back to — is
+	// masked to exact probability zero.
+	const vocab = 512
+	logits := make([]float32, vocab)
+	for i := range logits {
+		logits[i] = -float32(i) * 0.01
+	}
+	c := MustNew(Config{Temperature: 100, TopK: 2, Seed: 1}) // near-uniform over survivors
+	for draw := 0; draw < 20000; draw++ {
+		if got := c.Sample(logits, nil); got != 0 && got != 1 {
+			t.Fatalf("draw %d picked masked token %d (CDF walk fell off the distribution)", draw, got)
+		}
+	}
+
+	// Many near-equal tiny probabilities maximize accumulated rounding
+	// error; the draw must still always land on a live token (the last id
+	// is biased to probability zero).
+	flat := make([]float32, vocab)
+	bias := map[int]float32{vocab - 1: float32(math.Inf(-1))}
+	c2 := MustNew(Config{Temperature: 1, Seed: 2, LogitBias: bias})
+	for draw := 0; draw < 20000; draw++ {
+		if got := c2.Sample(flat, nil); got == vocab-1 {
+			t.Fatalf("draw %d picked the biased-out last index", draw)
+		}
+	}
+}
+
+// TestChainMatchesReference cross-checks the zero-alloc chain against a
+// naive allocation-heavy reference built from first principles (full sorts,
+// fresh buffers), fed the same uniform draws.
+func TestChainMatchesReference(t *testing.T) {
+	configs := []Config{
+		{Temperature: 1, Seed: 5},
+		{Temperature: 0.7, TopK: 8, Seed: 6},
+		{Temperature: 1.3, TopP: 0.9, Seed: 7},
+		{Temperature: 1, MinP: 0.08, Seed: 8},
+		{Temperature: 0.9, TopK: 12, TopP: 0.85, MinP: 0.02, RepetitionPenalty: 1.3, Seed: 9,
+			LogitBias: map[int]float32{3: 2.5, 17: -4}},
+	}
+	rng := rand.New(rand.NewSource(10))
+	for ci, cfg := range configs {
+		chain := MustNew(cfg)
+		refRng := rand.New(rand.NewSource(cfg.Seed))
+		history := []int{1, 2, 3, 2, 17, 40}
+		for trial := 0; trial < 300; trial++ {
+			logits := randomLogits(rng, 64)
+			got := chain.Sample(logits, history)
+			want := referenceSample(cfg, logits, history, refRng.Float64())
+			if got != want {
+				t.Fatalf("config %d trial %d: chain %d != reference %d", ci, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestDeterministicGivenSeed re-runs a draw sequence and demands identity;
+// a different seed must diverge somewhere over the run.
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(20))
+		c := MustNew(Config{Temperature: 1, TopK: 16, TopP: 0.95, Seed: seed})
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = c.Sample(randomLogits(rng, 48), nil)
+		}
+		return out
+	}
+	a, b := mk(123), mk(123)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d != %d with identical seeds", i, a[i], b[i])
+		}
+	}
+	c := mk(124)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("200 draws identical across different seeds")
+	}
+}
+
+// TestSampleSteadyStateZeroAllocs pins the zero-alloc contract of the full
+// chain (every transform active) after warmup.
+func TestSampleSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	c := MustNew(Config{Temperature: 0.9, TopK: 12, TopP: 0.9, MinP: 0.01,
+		RepetitionPenalty: 1.1, Seed: 3, LogitBias: map[int]float32{5: -1}})
+	rng := rand.New(rand.NewSource(30))
+	logits := randomLogits(rng, 96)
+	history := []int{1, 2, 3, 4, 5}
+	c.Sample(logits, history) // warmup grows the scratch
+	if avg := testing.AllocsPerRun(200, func() {
+		c.Sample(logits, history)
+	}); avg != 0 {
+		t.Fatalf("steady-state Sample allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func randomLogits(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64() * 2)
+	}
+	return out
+}
+
+// topKSet returns the keep-set of top-k filtering with ties at the boundary
+// broken toward lower ids.
+func topKSet(logits []float32, k int) map[int]bool {
+	idx := make([]int, len(logits))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if logits[idx[a]] != logits[idx[b]] {
+			return logits[idx[a]] > logits[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	keep := make(map[int]bool, k)
+	for _, id := range idx[:k] {
+		keep[id] = true
+	}
+	return keep
+}
+
+// referenceSample is the naive reference: same elementary float operations
+// as the chain, structured with fresh allocations and full sorts, consuming
+// the provided uniform draw.
+func referenceSample(cfg Config, logits []float32, history []int, u float64) int {
+	work := append([]float32(nil), logits...)
+
+	if p := float32(cfg.RepetitionPenalty); p != 0 && p != 1 {
+		seen := map[int]bool{}
+		for _, t := range history {
+			if t < 0 || t >= len(work) || seen[t] {
+				continue
+			}
+			seen[t] = true
+			if work[t] > 0 {
+				work[t] /= p
+			} else {
+				work[t] *= p
+			}
+		}
+	}
+	for tok, b := range cfg.LogitBias {
+		if tok < len(work) {
+			work[tok] += b
+		}
+	}
+	if cfg.Greedy() {
+		return tensor.Argmax(work)
+	}
+	masked := make([]bool, len(work))
+	if k := cfg.TopK; k > 0 && k < len(work) {
+		keep := topKSet(work, k)
+		for i := range work {
+			if !keep[i] {
+				masked[i] = true
+			}
+		}
+	}
+	applyMask := func() {
+		for i := range work {
+			if masked[i] {
+				work[i] = float32(math.Inf(-1))
+			}
+		}
+	}
+	applyMask()
+	if (cfg.TopP > 0 && cfg.TopP < 1) || cfg.MinP > 0 {
+		probs := make([]float32, len(work))
+		tensor.Softmax(probs, work)
+		if cfg.TopP > 0 && cfg.TopP < 1 {
+			idx := make([]int, len(work))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				if probs[idx[a]] != probs[idx[b]] {
+					return probs[idx[a]] > probs[idx[b]]
+				}
+				return idx[a] < idx[b]
+			})
+			var cum float64
+			cut := len(idx)
+			for i, id := range idx {
+				cum += float64(probs[id])
+				if cum >= cfg.TopP {
+					cut = i + 1
+					break
+				}
+			}
+			for _, id := range idx[cut:] {
+				masked[id] = true
+			}
+		}
+		if cfg.MinP > 0 {
+			var pmax float32
+			for i, p := range probs {
+				if !masked[i] && p > pmax {
+					pmax = p
+				}
+			}
+			floor := float32(cfg.MinP) * pmax
+			for i, p := range probs {
+				if !masked[i] && p < floor {
+					masked[i] = true
+				}
+			}
+		}
+		applyMask()
+	}
+	inv := float32(1 / cfg.Temperature)
+	for i, v := range work {
+		if !masked[i] {
+			work[i] = v * inv
+		}
+	}
+	probs := make([]float32, len(work))
+	tensor.Softmax(probs, work)
+	var total float64
+	for _, p := range probs {
+		total += float64(p)
+	}
+	target := u * total
+	var acc float64
+	last := -1
+	for i, p := range probs {
+		if p == 0 {
+			continue
+		}
+		acc += float64(p)
+		if acc > target {
+			return i
+		}
+		last = i
+	}
+	return last
+}

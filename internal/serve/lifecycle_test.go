@@ -27,7 +27,7 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	wg.Wait()
 	srv.Close() // and once more after everything settled
-	if _, err := srv.Submit(context.Background(), Request{Prompt: []int{1}}); !errors.Is(err, ErrServerClosed) {
+	if _, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{1}}); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("submit after close: %v, want ErrServerClosed", err)
 	}
 }
@@ -48,9 +48,9 @@ func TestSubmitCloseRace(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 8; i++ {
-				st, err := srv.Submit(context.Background(), Request{
-					Prompt:       r.Held[g*4 : g*4+6],
-					MaxNewTokens: 4,
+				st, err := srv.Submit(context.Background(), GenerateRequest{
+					Prompt:    r.Held[g*4 : g*4+6],
+					MaxTokens: 4,
 				})
 				if err != nil {
 					if !errors.Is(err, ErrServerClosed) {
@@ -167,14 +167,14 @@ func TestStreamBufferCappedByPromptLength(t *testing.T) {
 	defer srv.Close()
 
 	prompt := make([]int, 40)
-	st, err := srv.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: 1 << 20})
+	st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompt, MaxTokens: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 64-token window minus 40 prompt tokens leaves 24 generation steps plus
 	// the token sampled from the prompt logits.
-	if want := cfg.MaxSeq - len(prompt) + 1; cap(st.Tokens) != want {
-		t.Fatalf("stream buffer %d, want %d", cap(st.Tokens), want)
+	if want := cfg.MaxSeq - len(prompt) + 1; cap(st.events) != want {
+		t.Fatalf("stream buffer %d, want %d", cap(st.events), want)
 	}
 	if res := st.Result(); res.Reason != ReasonContextFull {
 		t.Fatalf("finished %q, want context_full", res.Reason)

@@ -28,7 +28,7 @@ func TestHeadParallelServingMatchesSerialGreedy(t *testing.T) {
 	})
 	streams := make([]*Stream, sessions)
 	for i, p := range prompts {
-		st, err := srv.Submit(context.Background(), Request{Prompt: p, MaxNewTokens: maxNew})
+		st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: p, MaxTokens: maxNew})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -36,7 +36,8 @@ func TestHeadParallelServingMatchesSerialGreedy(t *testing.T) {
 	}
 	got := make([][]int, sessions)
 	for i, st := range streams {
-		for tok := range st.Tokens {
+		for ev := range st.Events() {
+			tok := ev.Token
 			got[i] = append(got[i], tok)
 		}
 	}
@@ -71,12 +72,12 @@ func TestHeadParallelCancellationReleasesSession(t *testing.T) {
 	defer srv.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	st, err := srv.Submit(ctx, Request{Prompt: r.Held[:16], MaxNewTokens: 1 << 10})
+	st, err := srv.Submit(ctx, GenerateRequest{Prompt: r.Held[:16], MaxTokens: 1 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Wait for the first token so the session is mid-generation, then cancel.
-	if _, ok := <-st.Tokens; !ok {
+	if _, ok := <-st.Events(); !ok {
 		t.Fatal("stream closed before first token")
 	}
 	cancel()
@@ -113,7 +114,7 @@ func TestHeadParallelPoolRecyclingStaysBitExact(t *testing.T) {
 		prompts := testPrompts(r, 6)
 		streams := make([]*Stream, 0, len(prompts))
 		for i, p := range prompts {
-			st, err := srv.Submit(context.Background(), Request{Prompt: p, MaxNewTokens: maxNew})
+			st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: p, MaxTokens: maxNew})
 			if err != nil {
 				t.Fatalf("wave %d submit %d: %v", wave, i, err)
 			}
@@ -137,12 +138,13 @@ func TestHeadParallelPoolRecyclingStaysBitExact(t *testing.T) {
 
 	// Final probe session on heavily recycled blocks vs fresh dense serial.
 	prompt := r.Held[:20]
-	st, err := srv.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: maxNew})
+	st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompt, MaxTokens: maxNew})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got []int
-	for tok := range st.Tokens {
+	for ev := range st.Events() {
+		tok := ev.Token
 		got = append(got, tok)
 	}
 	if res := st.Result(); res.Reason != ReasonLength {

@@ -191,12 +191,13 @@ func TestServerPrefixSharingMatchesUnshared(t *testing.T) {
 		})
 		// Publisher first: its prefill completion populates the index before
 		// the follower wave is admitted.
-		st0, err := srv.Submit(context.Background(), Request{Prompt: prompts[0], MaxNewTokens: 16})
+		st0, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompts[0], MaxTokens: 16})
 		if err != nil {
 			t.Fatalf("submit publisher: %v", err)
 		}
 		got := make([][]int, len(prompts))
-		for tok := range st0.Tokens {
+		for ev := range st0.Events() {
+			tok := ev.Token
 			got[0] = append(got[0], tok)
 		}
 		if res := st0.Result(); res.Reason != ReasonLength {
@@ -204,13 +205,14 @@ func TestServerPrefixSharingMatchesUnshared(t *testing.T) {
 		}
 		streams := make([]*Stream, len(prompts))
 		for i := 1; i < len(prompts); i++ {
-			streams[i], err = srv.Submit(context.Background(), Request{Prompt: prompts[i], MaxNewTokens: 16})
+			streams[i], err = srv.Submit(context.Background(), GenerateRequest{Prompt: prompts[i], MaxTokens: 16})
 			if err != nil {
 				t.Fatalf("submit %d: %v", i, err)
 			}
 		}
 		for i := 1; i < len(prompts); i++ {
-			for tok := range streams[i].Tokens {
+			for ev := range streams[i].Events() {
+				tok := ev.Token
 				got[i] = append(got[i], tok)
 			}
 			if res := streams[i].Result(); res.Reason != ReasonLength {
@@ -280,20 +282,24 @@ func TestPreemptRequeueFinishes(t *testing.T) {
 	})
 	streams := make([]*Stream, sessions)
 	for i, p := range prompts {
-		st, err := srv.Submit(context.Background(), Request{Prompt: p, MaxNewTokens: maxNew})
+		st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: p, MaxTokens: maxNew})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 		streams[i] = st
 	}
 	got := make([][]int, sessions)
+	var recompute int64
 	for i, st := range streams {
-		for tok := range st.Tokens {
+		for ev := range st.Events() {
+			tok := ev.Token
 			got[i] = append(got[i], tok)
 		}
-		if res := st.Result(); res.Reason != ReasonLength || res.Err != nil {
+		res := st.Result()
+		if res.Reason != ReasonLength || res.Err != nil {
 			t.Fatalf("session %d finished %q err=%v (want preempt-requeue, not reject)", i, res.Reason, res.Err)
 		}
+		recompute += int64(res.Usage.RecomputeTokens)
 	}
 	srv.Close()
 	rep := srv.Report()
@@ -302,6 +308,10 @@ func TestPreemptRequeueFinishes(t *testing.T) {
 	}
 	if rep.RecomputeTokens == 0 {
 		t.Fatalf("preempted sessions replayed nothing: %+v", rep)
+	}
+	// Per-session Usage must reconcile with the fleet counter.
+	if recompute != rep.RecomputeTokens {
+		t.Fatalf("session usage sums %d recompute tokens, fleet reports %d", recompute, rep.RecomputeTokens)
 	}
 	if st := srv.Pool().Stats(); st.InUse != 0 {
 		t.Fatalf("%d blocks still referenced after drain", st.InUse)
@@ -345,7 +355,7 @@ func TestPreemptMultiWorkerUnderPressure(t *testing.T) {
 	})
 	streams := make([]*Stream, sessions)
 	for i := range streams {
-		st, err := srv.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: maxNew})
+		st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompt, MaxTokens: maxNew})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -354,7 +364,8 @@ func TestPreemptMultiWorkerUnderPressure(t *testing.T) {
 	want := decodeSerial(t, r.Params, attention.NewTokenPicker(1e-3), prompt, maxNew)
 	for i, st := range streams {
 		var got []int
-		for tok := range st.Tokens {
+		for ev := range st.Events() {
+			tok := ev.Token
 			got = append(got, tok)
 		}
 		if res := st.Result(); res.Reason != ReasonLength || res.Err != nil {
@@ -382,7 +393,7 @@ func TestPreemptionDisabledRejects(t *testing.T) {
 	srv := NewServer(params, Config{Workers: 1, BlockRows: 8, MaxBlocks: 1, MaxPreempts: -1})
 	defer srv.Close()
 
-	st, err := srv.Submit(context.Background(), Request{Prompt: []int{1, 2, 3}, MaxNewTokens: 4})
+	st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{1, 2, 3}, MaxTokens: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,7 +72,7 @@ func TestContinuousBatchingMatchesSerialGreedy(t *testing.T) {
 	})
 	streams := make([]*Stream, sessions)
 	for i, p := range prompts {
-		st, err := srv.Submit(context.Background(), Request{Prompt: p, MaxNewTokens: maxNew})
+		st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: p, MaxTokens: maxNew})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -80,16 +80,17 @@ func TestContinuousBatchingMatchesSerialGreedy(t *testing.T) {
 	}
 	got := make([][]int, sessions)
 	for i, st := range streams {
-		for tok := range st.Tokens {
+		for ev := range st.Events() {
+			tok := ev.Token
 			got[i] = append(got[i], tok)
 		}
 		res := st.Result()
 		if res.Reason != ReasonLength || res.Err != nil {
 			t.Fatalf("session %d finished %q err=%v", i, res.Reason, res.Err)
 		}
-		if res.Generated != maxNew || res.PromptLen != len(prompts[i]) {
+		if res.Usage.GeneratedTokens != maxNew || res.Usage.PromptTokens != len(prompts[i]) {
 			t.Fatalf("session %d generated %d/%d prompt %d/%d",
-				i, res.Generated, maxNew, res.PromptLen, len(prompts[i]))
+				i, res.Usage.GeneratedTokens, maxNew, res.Usage.PromptTokens, len(prompts[i]))
 		}
 	}
 	srv.Close()
@@ -149,7 +150,7 @@ func TestSequentialSessionsRecycleBlocks(t *testing.T) {
 
 	prompt := r.Held[:40]
 	for i := 0; i < 3; i++ {
-		st, err := srv.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: 8})
+		st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompt, MaxTokens: 8})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -174,12 +175,12 @@ func TestCancellationReleasesSession(t *testing.T) {
 	defer srv.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	st, err := srv.Submit(ctx, Request{Prompt: r.Held[:16], MaxNewTokens: 1 << 10})
+	st, err := srv.Submit(ctx, GenerateRequest{Prompt: r.Held[:16], MaxTokens: 1 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Wait for the first token so the session is mid-generation, then cancel.
-	if _, ok := <-st.Tokens; !ok {
+	if _, ok := <-st.Events(); !ok {
 		t.Fatal("stream closed before first token")
 	}
 	cancel()
@@ -199,7 +200,7 @@ func TestDeadlineFinishesSession(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	st, err := srv.Submit(ctx, Request{Prompt: r.Held[:16], MaxNewTokens: 1 << 20})
+	st, err := srv.Submit(ctx, GenerateRequest{Prompt: r.Held[:16], MaxTokens: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestContextFullFinishesGracefully(t *testing.T) {
 	defer srv.Close()
 
 	prompt := []int{1, 2, 3, 4, 5, 6, 7, 8}
-	st, err := srv.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: 1 << 10})
+	st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompt, MaxTokens: 1 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,8 +228,8 @@ func TestContextFullFinishesGracefully(t *testing.T) {
 	}
 	// Window = 24: 8 prompt + 16 generation steps; the token sampled after
 	// the last successful step has already been emitted.
-	if res.Generated != cfg.MaxSeq-len(prompt)+1 {
-		t.Fatalf("generated %d tokens into a %d window", res.Generated, cfg.MaxSeq)
+	if res.Usage.GeneratedTokens != cfg.MaxSeq-len(prompt)+1 {
+		t.Fatalf("generated %d tokens into a %d window", res.Usage.GeneratedTokens, cfg.MaxSeq)
 	}
 }
 
@@ -240,16 +241,16 @@ func TestPromptLongerThanWindowAccountsConsumedTokens(t *testing.T) {
 	defer srv.Close()
 
 	long := make([]int, 40) // 4 chunks; the window fills mid-third-chunk
-	st, err := srv.Submit(context.Background(), Request{Prompt: long, MaxNewTokens: 4})
+	st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: long, MaxTokens: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	res := st.Result()
-	if res.Reason != ReasonContextFull || res.Generated != 0 {
+	if res.Reason != ReasonContextFull || res.Usage.GeneratedTokens != 0 {
 		t.Fatalf("result %+v, want context_full with no generated tokens", res)
 	}
-	if res.PromptLen != cfg.MaxSeq {
-		t.Fatalf("PromptLen %d, want the %d tokens the decoder consumed", res.PromptLen, cfg.MaxSeq)
+	if res.Usage.PromptTokens != cfg.MaxSeq {
+		t.Fatalf("PromptLen %d, want the %d tokens the decoder consumed", res.Usage.PromptTokens, cfg.MaxSeq)
 	}
 	if rep := srv.Report(); rep.PromptTokens != int64(cfg.MaxSeq) {
 		t.Fatalf("fleet PromptTokens %d, want %d", rep.PromptTokens, cfg.MaxSeq)
@@ -262,7 +263,7 @@ func TestPoolExhaustionRejectsSession(t *testing.T) {
 	srv := NewServer(params, Config{Workers: 1, BlockRows: 8, MaxBlocks: 1})
 	defer srv.Close()
 
-	st, err := srv.Submit(context.Background(), Request{Prompt: []int{1, 2, 3}, MaxNewTokens: 4})
+	st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{1, 2, 3}, MaxTokens: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,32 +277,32 @@ func TestSubmitValidation(t *testing.T) {
 	params := model.NewParams(model.TestConfig(), 9)
 	srv := NewServer(params, Config{Workers: 1, MaxSessions: 1})
 
-	if _, err := srv.Submit(context.Background(), Request{}); !errors.Is(err, ErrEmptyPrompt) {
+	if _, err := srv.Submit(context.Background(), GenerateRequest{}); !errors.Is(err, ErrEmptyPrompt) {
 		t.Fatalf("empty prompt: %v", err)
 	}
 	// Out-of-vocab tokens are rejected at admission: inside a worker they
 	// would panic the decoder and take the whole server down.
-	if _, err := srv.Submit(context.Background(), Request{Prompt: []int{-1}}); !errors.Is(err, ErrBadToken) {
+	if _, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{-1}}); !errors.Is(err, ErrBadToken) {
 		t.Fatalf("negative token: %v", err)
 	}
 	big := params.Cfg.VocabSize
-	if _, err := srv.Submit(context.Background(), Request{Prompt: []int{1, big}}); !errors.Is(err, ErrBadToken) {
+	if _, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{1, big}}); !errors.Is(err, ErrBadToken) {
 		t.Fatalf("over-vocab token: %v", err)
 	}
 
 	// Fill the single session slot with a canceled-later session.
 	ctx, cancel := context.WithCancel(context.Background())
-	st, err := srv.Submit(ctx, Request{Prompt: []int{1, 2}, MaxNewTokens: 1 << 10})
+	st, err := srv.Submit(ctx, GenerateRequest{Prompt: []int{1, 2}, MaxTokens: 1 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Submit(context.Background(), Request{Prompt: []int{1}}); !errors.Is(err, ErrBusy) {
+	if _, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{1}}); !errors.Is(err, ErrBusy) {
 		t.Fatalf("over MaxSessions: %v", err)
 	}
 	cancel()
 	st.Result()
 	srv.Close()
-	if _, err := srv.Submit(context.Background(), Request{Prompt: []int{1}}); !errors.Is(err, ErrServerClosed) {
+	if _, err := srv.Submit(context.Background(), GenerateRequest{Prompt: []int{1}}); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("after close: %v", err)
 	}
 }

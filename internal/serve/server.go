@@ -18,7 +18,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -26,7 +25,7 @@ import (
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
-	"tokenpicker/internal/tensor"
+	"tokenpicker/internal/sample"
 )
 
 // Admission errors.
@@ -41,7 +40,7 @@ var (
 type FinishReason string
 
 const (
-	// ReasonLength: the session produced MaxNewTokens tokens.
+	// ReasonLength: the session produced its MaxTokens budget.
 	ReasonLength FinishReason = "length"
 	// ReasonContextFull: the model's context window filled up.
 	ReasonContextFull FinishReason = "context_full"
@@ -51,6 +50,9 @@ const (
 	// could be reclaimed (no idle cached prefixes to evict, no session to
 	// preempt, preemption budget spent).
 	ReasonRejected FinishReason = "rejected"
+	// ReasonStop: the generated tail matched one of the request's stop
+	// sequences; Result.StopSeq and Result.StopTokens identify which.
+	ReasonStop FinishReason = "stop"
 )
 
 // Config sizes a Server. The zero value is usable: NumCPU workers, exact
@@ -71,7 +73,7 @@ type Config struct {
 	BlockRows int
 	// MaxBlocks bounds live pool blocks; 0 = unbounded.
 	MaxBlocks int
-	// DefaultMaxNew applies when a request leaves MaxNewTokens zero
+	// DefaultMaxNew applies when a request leaves MaxTokens zero
 	// (default 64).
 	DefaultMaxNew int
 	// HeadParallel is the intra-step head parallelism of each decode
@@ -98,6 +100,11 @@ type Config struct {
 	// ReasonRejected. 0 means the default (3); negative disables
 	// preemption entirely, restoring reject-on-exhaustion.
 	MaxPreempts int
+	// Detokenize, when set, decodes a generated token id into its text
+	// form; the engine stamps it onto every Event so transports (the SSE
+	// front-end) can stream text without a second lookup. Must be
+	// goroutine-safe and side-effect free.
+	Detokenize func(token int) string
 	// NewKernel builds one generation-phase attention kernel per worker;
 	// nil means exact attention. Because one worker's kernel serves many
 	// interleaved sessions, kernels must not carry state across Attend
@@ -137,20 +144,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Request describes one generation job.
-type Request struct {
-	Prompt       []int
-	MaxNewTokens int     // 0 = Config.DefaultMaxNew
-	Temperature  float64 // <= 0: greedy argmax
-	Seed         int64   // sampling seed (Temperature > 0)
-}
-
 // Result is the terminal state of a session.
 type Result struct {
-	Reason    FinishReason
-	Err       error // non-nil for ReasonCanceled / ReasonRejected
-	Generated int   // tokens emitted
-	PromptLen int
+	Reason FinishReason
+	Err    error // non-nil for ReasonCanceled / ReasonRejected
+	// Usage is the per-request token accounting: prompt and generated
+	// counts, prefix-index rows adopted instead of prefilled, and tokens
+	// re-consumed by preemption replay.
+	Usage Usage
+	// StopSeq indexes the GenerateRequest.Stop sequence that ended the
+	// session when Reason == ReasonStop; -1 otherwise. StopTokens is the
+	// matched sequence itself.
+	StopSeq    int
+	StopTokens []int
 	// TTFT is the time from Submit to the first emitted token (zero if the
 	// session finished without emitting). Recorded at emission inside the
 	// engine, so it is immune to consumer scheduling delays.
@@ -159,49 +165,43 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Stream delivers a session's output. Tokens is buffered for the whole
-// response, so a slow consumer never blocks a worker; it is closed when the
-// session finishes.
-type Stream struct {
-	Tokens <-chan int
-	done   chan struct{}
-	res    Result
-}
-
-// Result blocks until the session finishes and returns its terminal state.
-func (s *Stream) Result() Result {
-	<-s.done
-	return s.res
-}
-
 // session is one admitted request moving through the scheduler.
 type session struct {
 	ctx       context.Context
-	req       Request
+	cancel    context.CancelFunc // releases the session's derived context
+	req       GenerateRequest
+	maxTokens int // effective generation budget (request or server default)
 	dec       *model.Decoder
 	stream    *Stream
-	emit      chan<- int
-	rng       *rand.Rand
+	emit      chan<- Event
+	sampler   *sample.Chain
 	submitted time.Time
 	firstTok  time.Time // zero until the first token is emitted
 	promptPos int       // prompt tokens consumed so far
 	next      int       // next token to feed to Step (already emitted)
 	generated int
-	scratch   []float32 // sampling scratch
+	// penCtx is prompt plus emitted tokens: the history the sampler's
+	// repetition penalty reads, whose generated tail (gen) preemption
+	// replays. Capacity is reserved at admission, so appends never move it.
+	penCtx []int
 
-	hist       []int // emitted tokens, kept so preemption can replay them
-	adopted    int   // context rows adopted from the prefix index
-	hitCounted bool  // this session already counted toward PrefixStats.Hits
+	adopted    int  // context rows adopted from the prefix index
+	adoptedAll int  // cumulative adopted rows across preemption rebuilds
+	recomputed int  // generated tokens re-consumed during replay
+	hitCounted bool // this session already counted toward PrefixStats.Hits
 
-	// Preemption state: hist[replayPos:replayEnd] are emitted tokens whose
+	// Preemption state: gen()[replayPos:replayEnd] are emitted tokens whose
 	// KV rows must be recomputed (through the generation kernel, so the
 	// rebuild is bit-identical) before new tokens may be sampled. advance
-	// never runs while replayPos < replayEnd, so hist is stable during
+	// never runs while replayPos < replayEnd, so the tail is stable during
 	// replay by construction.
 	replayPos int
 	replayEnd int
 	preempts  int // times this session has been preempted
 }
+
+// gen returns the emitted-token tail of the session history.
+func (sess *session) gen() []int { return sess.penCtx[len(sess.req.Prompt):] }
 
 // progress orders sessions for victim selection: consumed prompt tokens
 // plus emitted tokens, i.e. how much work preemption would throw away.
@@ -290,24 +290,29 @@ func NewServer(params *model.Params, cfg Config) *Server {
 // Pool exposes the server's KV block pool (read its Stats for reporting).
 func (s *Server) Pool() *Pool { return s.pool }
 
-// Submit admits a request. It returns ErrBusy when MaxSessions sessions are
-// in flight and ErrServerClosed after Close. The returned stream carries
-// the generated tokens; ctx cancellation or deadline stops the session at
-// its next scheduling quantum.
-func (s *Server) Submit(ctx context.Context, req Request) (*Stream, error) {
-	if len(req.Prompt) == 0 {
-		return nil, ErrEmptyPrompt
+// Submit admits a generation request. The request is validated first — a
+// *ValidationError (matching ErrInvalidRequest, and ErrEmptyPrompt /
+// ErrBadToken where those apply) reports the offending field. Admission
+// returns ErrBusy when MaxSessions sessions are in flight and
+// ErrServerClosed after Close. The returned stream carries the generated
+// events; ctx cancellation, deadline, or Stream.Cancel stops the session
+// at its next scheduling quantum.
+func (s *Server) Submit(ctx context.Context, req GenerateRequest) (*Stream, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
-	// Reject out-of-vocabulary tokens at admission: the decoder panics on
-	// them, and a panic in a worker would take down every session.
-	for i, t := range req.Prompt {
-		if t < 0 || t >= s.params.Cfg.VocabSize {
-			return nil, fmt.Errorf("%w: token %d at position %d (vocab %d)",
-				ErrBadToken, t, i, s.params.Cfg.VocabSize)
-		}
+	// Vocabulary-dependent checks at admission: the decoder panics on
+	// out-of-range tokens, and a panic in a worker would take down every
+	// session.
+	if err := req.validateVocab(s.params.Cfg.VocabSize); err != nil {
+		return nil, err
 	}
-	if req.MaxNewTokens <= 0 {
-		req.MaxNewTokens = s.cfg.DefaultMaxNew
+	// Validate above already vetted the sampling config; MustNew cannot
+	// fire.
+	sampler := sample.MustNew(req.Sampling)
+	maxTokens := req.MaxTokens
+	if maxTokens == 0 {
+		maxTokens = s.cfg.DefaultMaxNew
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -336,26 +341,31 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Stream, error) {
 
 	// A session can emit at most MaxSeq - len(prompt) + 1 tokens before the
 	// window fills (the +1 is the token sampled from the final prompt
-	// logits), so cap the stream buffer there: huge MaxNewTokens values and
+	// logits), so cap the stream buffer there: huge MaxTokens values and
 	// long prompts must not reserve buffer memory they can never use.
-	buf := req.MaxNewTokens
+	buf := maxTokens
 	if lim := s.params.Cfg.MaxSeq - len(req.Prompt) + 1; buf > lim {
 		buf = lim
 	}
 	if buf < 0 {
 		buf = 0
 	}
-	tokens := make(chan int, buf)
+	// The session's context is derived so Stream.Cancel can detach the
+	// consumer without touching the caller's ctx; finish releases it.
+	sctx, cancel := context.WithCancel(ctx)
+	events := make(chan Event, buf)
 	sess := &session{
-		ctx:       ctx,
+		ctx:       sctx,
+		cancel:    cancel,
 		req:       req,
+		maxTokens: maxTokens,
 		dec:       model.NewDecoderWith(s.params, nil, s.pool.Provider()),
-		emit:      tokens,
-		rng:       rand.New(rand.NewSource(req.Seed)),
+		emit:      events,
+		sampler:   sampler,
 		submitted: time.Now(),
-		scratch:   make([]float32, s.params.Cfg.VocabSize),
+		penCtx:    append(make([]int, 0, len(req.Prompt)+buf), req.Prompt...),
 	}
-	sess.stream = &Stream{Tokens: tokens, done: make(chan struct{})}
+	sess.stream = &Stream{events: events, done: make(chan struct{}), cancel: cancel}
 	if s.prefixes != nil {
 		s.adoptPrefix(sess, true)
 	}
@@ -380,6 +390,7 @@ func (s *Server) adoptPrefix(sess *session, firstProbe bool) {
 	}
 	sess.promptPos = rows
 	sess.adopted = rows
+	sess.adoptedAll += rows
 }
 
 // Close stops admission, waits for in-flight sessions to drain, shuts the
@@ -493,10 +504,11 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 			// it, so the KV rows rebuild bit-identically — without emitting
 			// anything. Replay shares the quantum budget: a deep session
 			// catching up must not starve its peers.
-			if _, err := sess.dec.Step(sess.hist[sess.replayPos]); err != nil {
+			if _, err := sess.dec.Step(sess.gen()[sess.replayPos]); err != nil {
 				return s.storageErr(sess, err)
 			}
 			sess.replayPos++
+			sess.recomputed++
 			replayed++
 			continue
 		}
@@ -620,7 +632,7 @@ func (s *Server) othersActive() bool {
 func (s *Server) preempt(sess *session) {
 	// Every emitted token except the last was consumed by Step; the last
 	// one is still pending in sess.next and is consumed on resume.
-	sess.replayEnd = len(sess.hist) - 1
+	sess.replayEnd = sess.generated - 1
 	if sess.replayEnd < 0 {
 		sess.replayEnd = 0
 	}
@@ -634,18 +646,30 @@ func (s *Server) preempt(sess *session) {
 	s.mu.Unlock()
 }
 
-// advance samples the next token from logits, emits it, and reports whether
-// the session is finished (length budget spent).
+// advance runs the sampler chain on logits, emits the chosen token as an
+// Event, and reports whether the session is finished (stop-sequence match
+// or length budget spent).
 func (s *Server) advance(sess *session, logits []float32) bool {
-	tok := sess.sample(logits)
-	sess.emit <- tok
+	tok := sess.sampler.Sample(logits, sess.penCtx)
+	now := time.Now()
 	if sess.generated == 0 {
-		sess.firstTok = time.Now()
+		sess.firstTok = now
 	}
+	ev := Event{Token: tok, Index: sess.generated, Elapsed: now.Sub(sess.submitted)}
+	if s.cfg.Detokenize != nil {
+		ev.Text = s.cfg.Detokenize(tok)
+	}
+	sess.emit <- ev
 	sess.next = tok
-	sess.hist = append(sess.hist, tok)
+	sess.penCtx = append(sess.penCtx, tok)
 	sess.generated++
-	if sess.generated >= sess.req.MaxNewTokens {
+	// Stop sequences win over the length budget when one token satisfies
+	// both: the consumer learns why generation really ended.
+	if idx, seq := matchStop(sess.req.Stop, sess.gen()); idx >= 0 {
+		s.finish(sess, Result{Reason: ReasonStop, StopSeq: idx, StopTokens: seq})
+		return true
+	}
+	if sess.generated >= sess.maxTokens {
 		s.finish(sess, Result{Reason: ReasonLength})
 		return true
 	}
@@ -663,15 +687,23 @@ func (s *Server) finishErr(sess *session, err error) {
 }
 
 // finish releases the session's KV blocks back to the pool, records the
-// outcome, and wakes the stream's consumer.
+// outcome and its usage accounting, and wakes the stream's consumer.
 func (s *Server) finish(sess *session, res Result) {
-	res.Generated = sess.generated
-	res.PromptLen = sess.promptPos
+	res.Usage = Usage{
+		PromptTokens:    sess.promptPos,
+		GeneratedTokens: sess.generated,
+		PrefixHitRows:   sess.adoptedAll,
+		RecomputeTokens: sess.recomputed,
+	}
+	if res.Reason != ReasonStop {
+		res.StopSeq = -1
+	}
 	res.Elapsed = time.Since(sess.submitted)
 	if !sess.firstTok.IsZero() {
 		res.TTFT = sess.firstTok.Sub(sess.submitted)
 	}
 	sess.dec.Release()
+	sess.cancel() // release the derived context
 	close(sess.emit)
 	sess.stream.res = res
 	close(sess.stream.done)
@@ -683,29 +715,6 @@ func (s *Server) finish(sess *session, res Result) {
 	s.sessWG.Done()
 	// The released blocks may be exactly what a stalled session waits for.
 	s.sched.kick()
-}
-
-// sample draws the next token: argmax when Temperature <= 0, else a
-// temperature-scaled softmax draw from the session's seeded rng.
-func (sess *session) sample(logits []float32) int {
-	temp := sess.req.Temperature
-	if temp <= 0 {
-		return tensor.Argmax(logits)
-	}
-	scaled := sess.scratch[:len(logits)]
-	for i, v := range logits {
-		scaled[i] = v / float32(temp)
-	}
-	tensor.Softmax(scaled, scaled)
-	u := sess.rng.Float64()
-	var acc float64
-	for i, p := range scaled {
-		acc += float64(p)
-		if u <= acc {
-			return i
-		}
-	}
-	return len(scaled) - 1
 }
 
 // scheduler is the FIFO run queue workers pull dispatch quanta from. It is

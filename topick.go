@@ -31,27 +31,41 @@
 //	stats := kernel.Stats()
 //	fmt.Printf("V pruning ratio: %.1fx\n", stats.PruningRatio())
 //
-// Serving:
+// Serving (generation API v2 — typed requests, pluggable sampling, event
+// streams):
 //
 //	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
 //		Workers:   4,
 //		NewKernel: func() tokenpicker.Kernel { return tokenpicker.NewKernel(1e-3) },
 //	})
-//	st, _ := srv.Submit(ctx, tokenpicker.ServeRequest{Prompt: res.Held[:64]})
-//	for tok := range st.Tokens {
-//		fmt.Println(tok)
+//	st, _ := srv.Submit(ctx, tokenpicker.GenerateRequest{
+//		Prompt:   res.Held[:64],
+//		Sampling: tokenpicker.SamplingConfig{Temperature: 0.8, TopK: 40, Seed: 7},
+//	})
+//	for ev := range st.Events() {
+//		fmt.Println(ev.Index, ev.Token, ev.Elapsed)
 //	}
+//	res2 := st.Result()
+//	fmt.Println(res2.Reason, res2.Usage.GeneratedTokens)
 //	srv.Close()
 //	fmt.Printf("fleet pruning: %.1fx\n", srv.Report().Attn.PruningRatio())
+//
+// NewHTTPHandler wraps a Server in the OpenAI-style HTTP front-end
+// (POST /v1/completions with optional SSE streaming, GET /v1/stats);
+// `topick-serve -listen :8080` serves it from the CLI.
 package tokenpicker
 
 import (
+	"net/http"
+
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/bench"
 	"tokenpicker/internal/core"
 	"tokenpicker/internal/exec"
 	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/httpapi"
 	"tokenpicker/internal/model"
+	"tokenpicker/internal/sample"
 	"tokenpicker/internal/serve"
 	"tokenpicker/internal/sim/arch"
 	"tokenpicker/internal/spatten"
@@ -108,18 +122,41 @@ type (
 	SpAttenConfig = spatten.Config
 )
 
-// Serving engine types.
+// Serving engine types (generation API v2).
 type (
 	// Server is the continuous-batching inference engine.
 	Server = serve.Server
 	// ServeConfig sizes a Server (workers, quantum, pool geometry).
 	ServeConfig = serve.Config
-	// ServeRequest is one generation job.
-	ServeRequest = serve.Request
-	// ServeStream delivers a session's tokens and terminal result.
+	// GenerateRequest is one generation job: prompt, token budget, full
+	// sampling configuration, stop sequences. Validate reports typed
+	// *RequestError violations.
+	GenerateRequest = serve.GenerateRequest
+	// SamplingConfig is the pluggable sampling configuration (temperature,
+	// top-k, top-p, min-p, repetition penalty, logit bias, seed); the zero
+	// value is greedy argmax.
+	SamplingConfig = sample.Config
+	// Sampler picks the next token from logits; SamplerChain is the
+	// composable default implementation.
+	Sampler = sample.Sampler
+	// SamplerChain applies penalties → top-k → top-p → min-p → temperature
+	// → seeded multinomial, deterministically and allocation-free.
+	SamplerChain = sample.Chain
+	// GenerateEvent is one unit of stream output: token id, index, optional
+	// decoded text, and emission timing.
+	GenerateEvent = serve.Event
+	// ServeStream delivers a session's events and terminal result, with
+	// consumer-side cancellation.
 	ServeStream = serve.Stream
-	// ServeResult is a session's terminal state.
+	// ServeResult is a session's terminal state: structured finish reason
+	// (including stop-sequence matches) and per-request usage.
 	ServeResult = serve.Result
+	// ServeUsage is the per-request token accounting.
+	ServeUsage = serve.Usage
+	// RequestError is the typed validation failure of one request field.
+	RequestError = serve.ValidationError
+	// SamplingError is the typed validation failure of one sampling field.
+	SamplingError = sample.ConfigError
 	// ServeReport is the fleet-wide statistics snapshot.
 	ServeReport = serve.Report
 	// FinishReason tells why a session stopped.
@@ -142,6 +179,7 @@ type (
 // Session finish reasons.
 const (
 	FinishLength      = serve.ReasonLength
+	FinishStop        = serve.ReasonStop
 	FinishContextFull = serve.ReasonContextFull
 	FinishCanceled    = serve.ReasonCanceled
 	FinishRejected    = serve.ReasonRejected
@@ -150,6 +188,31 @@ const (
 // ErrContextFull is returned by Decoder.Step/Prompt when the context window
 // is exhausted; the serving engine finishes such sessions gracefully.
 var ErrContextFull = model.ErrContextFull
+
+// Serving API sentinels: ErrInvalidRequest matches every request
+// validation failure (errors.Is), ErrStreamDone ends a ServeStream.Next
+// pull loop, ErrInvalidSampling matches every sampling-config failure.
+var (
+	ErrInvalidRequest  = serve.ErrInvalidRequest
+	ErrInvalidSampling = sample.ErrInvalidConfig
+	ErrStreamDone      = serve.ErrStreamDone
+)
+
+// NewSampler builds the composable sampler chain for a validated sampling
+// configuration — the same chain the serving engine runs per session; use
+// it directly with a Decoder for single-tenant generation.
+func NewSampler(cfg SamplingConfig) (*SamplerChain, error) { return sample.New(cfg) }
+
+// HTTPOptions configures the HTTP front-end (model name, token decoding).
+type HTTPOptions = httpapi.Options
+
+// NewHTTPHandler wraps a Server in the OpenAI-style HTTP API:
+// POST /v1/completions (JSON; SSE streaming with a [DONE] terminator when
+// "stream" is true), GET /v1/stats (engine/pool/prefix statistics), and
+// GET /healthz. Serve it with net/http.
+func NewHTTPHandler(srv *Server, opts HTTPOptions) http.Handler {
+	return httpapi.New(srv, opts)
+}
 
 // Hardware simulation types.
 type (
