@@ -25,21 +25,24 @@ test-full:
 	$(GO) test -race ./...
 
 # Focused gate for the incremental quantized-KV cache, the head-parallel
-# executor, the prefix-sharing CoW pool, and the generation API v2:
-# formatting, vet, build, the cache/kernel/executor/sampling/serving/HTTP
-# tests under the race detector, the pool-vs-serial, shared-vs-dense, and
+# executor, the prefix-sharing CoW pool, the generation API, and the
+# observability surface: formatting, vet, build, the
+# cache/kernel/executor/sampling/serving/HTTP/metrics tests under the race
+# detector, the pool-vs-serial, shared-vs-dense, and
 # sampler-vs-legacy-greedy equivalence tests pinned to one core and to
 # every core (schedule diversity must never change a logit bit), the
-# parallel decode race test and the preempt-requeue test, then the
-# steady-state allocation guards (attention + sampler chain) without -race
-# (race instrumentation skews alloc counts, so the guards skip themselves
-# there).
+# parallel decode race test, the preempt-requeue test, and the
+# metrics/trace reconciliation test under churn, then the steady-state
+# allocation guards (attention + instrumentation + sampler chain) without
+# -race (race instrumentation skews alloc counts, so the guards skip
+# themselves there).
 check: fmt-check vet build
-	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/exec/ ./internal/sample/ ./internal/serve/ ./internal/httpapi/ ./internal/bench/
+	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/exec/ ./internal/obs/ ./internal/sample/ ./internal/serve/ ./internal/httpapi/ ./internal/bench/
 	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant|TestSamplerGreedyEquivalence|TestSamplingDeterministicAcrossEngines' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
 	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant|TestSamplerGreedyEquivalence|TestSamplingDeterministicAcrossEngines' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
-	TOPICK_QUICK=1 $(GO) test -race -count=1 -run 'TestParallelDecodeRace|TestHeadParallel|TestPreemptRequeueFinishes|TestSubmitCloseRace' ./internal/bench/ ./internal/serve/
+	TOPICK_QUICK=1 $(GO) test -race -count=1 -run 'TestParallelDecodeRace|TestHeadParallel|TestPreemptRequeueFinishes|TestSubmitCloseRace|TestMetricsReconcileUnderChurn' ./internal/bench/ ./internal/serve/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestAttendSteadyStateZeroAllocs' ./internal/bench/
+	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestRecordPathsZeroAlloc' ./internal/obs/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestSampleSteadyStateZeroAllocs' ./internal/sample/
 
 # Measured decode-step trajectory: writes BENCH_decode.json (ns/token,

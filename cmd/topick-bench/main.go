@@ -18,22 +18,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"tokenpicker/internal/bench"
-	"tokenpicker/internal/exec"
+	xexec "tokenpicker/internal/exec"
 	"tokenpicker/internal/train"
 )
 
 type report struct {
-	Note      string                   `json:"note"`
-	Unit      string                   `json:"unit"`
-	Timestamp string                   `json:"timestamp"`
-	CPUs      int                      `json:"cpus"` // cores visible to the run; pool speedups are bounded by this
-	Results   []bench.DecodeStepResult `json:"results"`
+	Note      string `json:"note"`
+	Unit      string `json:"unit"`
+	Timestamp string `json:"timestamp"`
+	// GitSHA stamps the commit the numbers were measured at ("unknown"
+	// outside a git checkout), GOMAXPROCS the parallelism the run actually
+	// had — both required to compare BENCH_decode.json across PRs.
+	GitSHA     string                   `json:"git_sha"`
+	GoMaxProcs int                      `json:"gomaxprocs"`
+	CPUs       int                      `json:"cpus"` // cores visible to the run; pool speedups are bounded by this
+	Results    []bench.DecodeStepResult `json:"results"`
 	// Speedup maps "kernel/ctx=N" to scratch-ns / incremental-ns for the
 	// quantizing kernels (the measured win of the incremental cache) and
 	// "kernel/heads=H/ctx=N/pool=W" to serial-ns / pool-ns (the measured
@@ -72,6 +78,20 @@ func parseInts(s, flagName string) []int {
 	return out
 }
 
+// gitSHA resolves the short commit hash of the working tree, "unknown" when
+// git or the repository is unavailable (the record must still be written).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if sha == "" {
+		return "unknown"
+	}
+	return sha
+}
+
 func main() {
 	out := flag.String("out", "BENCH_decode.json", "output JSON path")
 	contexts := flag.String("contexts", "128,512", "comma-separated context lengths")
@@ -86,7 +106,7 @@ func main() {
 	// The comparison arm always runs a real pool (width >= 2) so the
 	// serial/pool columns both exist; on a single-core host the pool row
 	// honestly measures pure executor overhead (speedup ~1.0).
-	width := exec.ResolveWidth(*parallel)
+	width := xexec.ResolveWidth(*parallel)
 	if width < 2 {
 		width = 2
 	}
@@ -98,10 +118,12 @@ func main() {
 			"bound on it for spatten, which used to quantize only surviving rows), " +
 			"incremental mode uses the cache-owned side-car; parallel=W rows run " +
 			"the heads of each layer on a W-slot work-stealing pool executor",
-		Unit:      "ns per generated token",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		CPUs:      runtime.NumCPU(),
-		Speedup:   map[string]float64{},
+		Unit:       "ns per generated token",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GitSHA:     gitSHA(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		Speedup:    map[string]float64{},
 	}
 
 	// Arm 1: incremental vs from-scratch quantization (serial executor).

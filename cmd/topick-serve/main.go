@@ -11,15 +11,24 @@
 //
 // HTTP server (-listen): boots the engine behind the OpenAI-style HTTP API
 // (POST /v1/completions with optional SSE streaming, GET /v1/stats,
-// GET /healthz) and runs until SIGINT/SIGTERM, then drains in-flight
-// sessions and exits cleanly.
+// GET /v1/trace, GET /metrics, GET /healthz, GET /readyz) and runs until
+// SIGINT/SIGTERM, then flips /readyz to 503 (draining), waits -drain-grace
+// for load balancers to notice, drains in-flight sessions, and exits
+// cleanly.
+//
+// Observability: -trace-buf sizes the lifecycle tracer's ring (served at
+// GET /v1/trace), -trace-out records every span event to a JSONL file
+// replayable by topick-sim -trace, and -pprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // Usage:
 //
 //	topick-serve -sessions 12 -workers 4 -max-new 48 -threshold 1e-3 -compare
 //	topick-serve -max-blocks 256 -max-preempts 4   # preempt under pool pressure
 //	topick-serve -listen :8080                     # HTTP/SSE front-end
+//	topick-serve -listen :8080 -trace-out trace.jsonl -pprof
 //	curl -s localhost:8080/v1/completions -d '{"prompt":[1,2,3],"max_tokens":8}'
+//	curl -s localhost:8080/metrics | grep topick_ttft
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,8 +66,49 @@ func main() {
 		maxBlocks = flag.Int("max-blocks", 0, "KV pool block budget (0 = unbounded; exhaustion preempts sessions)")
 		preempts  = flag.Int("max-preempts", 0, "per-session preemption budget (0 = default, negative = reject on exhaustion)")
 		listen    = flag.String("listen", "", "serve the HTTP API on this address (e.g. :8080) instead of the offline demo")
+
+		traceOut   = flag.String("trace-out", "", "record the lifecycle trace to this JSONL file (replayable by topick-sim -trace)")
+		traceBuf   = flag.Int("trace-buf", 0, "lifecycle tracer ring capacity for GET /v1/trace (0 = off unless -trace-out is set)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (with -listen)")
+		drainGrace = flag.Duration("drain-grace", 0, "after SIGTERM, keep answering with /readyz=503 this long before closing the listener")
 	)
 	flag.Parse()
+
+	// The tracer must exist before the engine: ServeConfig.Tracer is wired at
+	// construction. A -trace-out file implies a ring even when -trace-buf is
+	// unset, so /v1/trace works whenever recording does.
+	var tracer *tokenpicker.Tracer
+	var traceFile *os.File
+	var traceSink *tokenpicker.TraceJSONLWriter
+	if *traceBuf > 0 || *traceOut != "" {
+		n := *traceBuf
+		if n <= 0 {
+			n = 4096
+		}
+		tracer = tokenpicker.NewTracer(n)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		traceSink = tokenpicker.NewTraceJSONLWriter(f)
+		tracer.SetSink(traceSink)
+	}
+	flushTrace := func() {
+		if traceSink == nil {
+			return
+		}
+		if err := traceSink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		}
+		fmt.Printf("lifecycle trace written to %s\n", *traceOut)
+	}
 
 	fmt.Println("training demo model (cached per process)...")
 	res := tokenpicker.TrainDemoModel()
@@ -73,12 +124,14 @@ func main() {
 		SharePrefix:  *share,
 		MaxPreempts:  *preempts,
 		HeadParallel: tokenpicker.ResolveParallel(*parallel),
+		Tracer:       tracer,
 		Detokenize:   detok,
 		NewKernel:    func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
 	})
 
 	if *listen != "" {
-		serveHTTP(srv, *listen)
+		serveHTTP(srv, *listen, *pprofOn, *drainGrace)
+		flushTrace()
 		return
 	}
 	offlineDemo(res, srv, offlineOptions{
@@ -87,34 +140,54 @@ func main() {
 		blockRows: *blockRows, parallel: *parallel, quantum: *quantum,
 		temp: *temp, deadline: *deadline, compare: *compare, share: *share,
 	})
+	flushTrace()
 }
 
 // detok renders a synthetic-vocabulary token for the HTTP text fields.
 func detok(tok int) string { return fmt.Sprintf("%d ", tok) }
 
 // serveHTTP runs the engine behind the HTTP front-end until SIGINT/SIGTERM,
-// then shuts down in order: stop accepting connections, drain in-flight
-// sessions, print the fleet report.
-func serveHTTP(srv *tokenpicker.Server, addr string) {
+// then shuts down in order: flip /readyz to 503 (draining) and wait the
+// grace period so load balancers stop routing here, stop accepting
+// connections, drain in-flight sessions, print the fleet report.
+func serveHTTP(srv *tokenpicker.Server, addr string, pprofOn bool, drainGrace time.Duration) {
 	handler := tokenpicker.NewHTTPHandler(srv, tokenpicker.HTTPOptions{
 		Model: "topick-demo",
 		Detok: detok,
 	})
-	hs := &http.Server{Addr: addr, Handler: handler}
+	var root http.Handler = handler
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root = mux
+	}
+	hs := &http.Server{Addr: addr, Handler: root}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("HTTP API listening on %s (POST /v1/completions, GET /v1/stats)\n", addr)
+	fmt.Printf("HTTP API listening on %s (POST /v1/completions, GET /v1/stats, GET /metrics)\n", addr)
+	if pprofOn {
+		fmt.Printf("pprof mounted at http://%s/debug/pprof/\n", addr)
+	}
 
 	select {
 	case <-ctx.Done():
-		fmt.Println("\nsignal received, shutting down...")
+		fmt.Println("\nsignal received, draining...")
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "http: %v\n", err)
 		os.Exit(1)
+	}
+	handler.SetDraining(true)
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
 	}
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

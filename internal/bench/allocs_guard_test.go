@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"io"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
+	"tokenpicker/internal/obs"
 	"tokenpicker/internal/tensor"
 )
 
@@ -82,5 +85,40 @@ func TestAttendSteadyStateZeroAllocs(t *testing.T) {
 					et.name, name, allocs)
 			}
 		}
+	}
+
+	// The same guard with the serving instrumentation live: timing a step
+	// into a histogram, bumping a sharded counter, and recording a traced
+	// event teed to a JSONL sink must add zero allocations on top of the
+	// kernel — "observability on" may never cost per-token garbage.
+	reg := obs.NewRegistry()
+	stepHist := reg.Histogram("guard_step_seconds", "step latency", "", obs.DefDurationBuckets())
+	genCtr := reg.Counter("guard_tokens_total", "tokens", "")
+	tracer := obs.NewTracer(1 << 10)
+	tracer.SetSink(obs.NewJSONLWriter(io.Discard))
+	k := newDecodeKernel(DecodeKernels()[0], cfg)
+	batch := model.AttendBatch{
+		Layer: 0, N: n, Heads: cfg.Heads, HeadDim: cfg.HeadDim,
+		Scale:  float32(1 / math.Sqrt(float64(cfg.HeadDim))),
+		Slopes: slopes, Q: q, Out: out, Keys: keys, Vals: vals,
+		Exec: exec.Serial{},
+	}
+	var step int32
+	instrumented := func() {
+		start := time.Now()
+		k.AttendLayer(batch)
+		stepHist.Observe(time.Since(start).Seconds())
+		genCtr.AddSlot(1, 1)
+		step++
+		tracer.Record(obs.Event{
+			Session: 1, Kind: obs.KindDecodeStep, Step: step, Tokens: 1,
+			Rows: int32(n), Batch: 1, InUse: 4, Free: 2,
+		})
+	}
+	for i := 0; i < 3; i++ {
+		instrumented()
+	}
+	if allocs := testing.AllocsPerRun(100, instrumented); allocs != 0 {
+		t.Errorf("instrumented decode step allocates %g times per call", allocs)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/model"
+	"tokenpicker/internal/obs"
 	"tokenpicker/internal/serve"
 	"tokenpicker/internal/train"
 )
@@ -22,6 +23,10 @@ type PrefixServingOptions struct {
 	Workers   int
 	BlockRows int
 	Threshold float64 // Token-Picker pruning threshold
+	// Tracer, when set, records the lifecycle trace of the sharing arm
+	// (only that arm: session ids restart per engine, so tracing both runs
+	// into one ring would interleave duplicate ids).
+	Tracer *obs.Tracer
 }
 
 // DefaultPrefixServingOptions returns the profile used by cmd/topick-bench
@@ -101,12 +106,16 @@ func ComparePrefixServing(r *train.Result, o PrefixServingOptions) PrefixServing
 	prompts := prefixServingPrompts(r, o)
 
 	run := func(share bool) (toks [][]int, wall float64, ttft float64, rep serve.Report) {
-		srv := serve.NewServer(r.Params, serve.Config{
+		cfg := serve.Config{
 			Workers:     o.Workers,
 			BlockRows:   o.BlockRows,
 			SharePrefix: share,
 			NewKernel:   func() model.Kernel { return attention.NewTokenPicker(o.Threshold) },
-		})
+		}
+		if share {
+			cfg.Tracer = o.Tracer
+		}
+		srv := serve.NewServer(r.Params, cfg)
 		start := time.Now()
 		toks = make([][]int, len(prompts))
 		var ttftSum float64

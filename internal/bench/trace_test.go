@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"tokenpicker/internal/obs"
+	"tokenpicker/internal/train"
+)
+
+// TestPrefixServingTraceRoundTrip records the serving benchmark's sharing
+// arm through the JSONL sink and replays it through the offline pipeline
+// the simulator uses: parse, strict timeline validation, summary, and step
+// extraction. The trace must re-derive the benchmark's own accounting —
+// prefix rows on the finish events equal the engine's RowsReused — so a
+// recorded file is a faithful substitute for the live run.
+func TestPrefixServingTraceRoundTrip(t *testing.T) {
+	o := DefaultPrefixServingOptions()
+	o.Sessions = 4
+	o.MaxNew = 8
+	tracer := obs.NewTracer(1 << 14)
+	var buf bytes.Buffer
+	sink := obs.NewJSONLWriter(&buf)
+	tracer.SetSink(sink)
+	o.Tracer = tracer
+
+	res := ComparePrefixServing(train.TestModel(), o)
+	if !res.TokensMatch {
+		t.Fatalf("sharing arm diverged from the unshared arm")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("flush trace: %v", err)
+	}
+
+	events, err := obs.ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse recorded trace: %v", err)
+	}
+	if uint64(len(events)) != tracer.Total() {
+		t.Fatalf("sink recorded %d events, tracer %d", len(events), tracer.Total())
+	}
+	// The whole run fits the ring, so the timeline must validate strictly:
+	// monotonic timestamps, submit-first/finish-last, preempts matched by
+	// resumes, per-session adopt sums consistent with the finish rows.
+	if err := obs.ValidateTimeline(events, false); err != nil {
+		t.Fatalf("trace inconsistent: %v", err)
+	}
+
+	sum := obs.Summarize(events)
+	if sum.Sessions != o.Sessions || sum.Finished != o.Sessions {
+		t.Fatalf("trace saw %d sessions (%d finished), want %d", sum.Sessions, sum.Finished, o.Sessions)
+	}
+	if sum.PrefixRows != res.RowsReused {
+		t.Fatalf("trace adopt rows %d, engine reused %d", sum.PrefixRows, res.RowsReused)
+	}
+	var finishAdopt int64
+	for _, ev := range events {
+		if ev.Kind == obs.KindFinish {
+			finishAdopt += int64(ev.Tokens)
+		}
+	}
+	if finishAdopt != res.RowsReused {
+		t.Fatalf("finish events carry %d adopted rows, engine reused %d", finishAdopt, res.RowsReused)
+	}
+
+	// The simulator's extraction: every decode step plus every prefill
+	// chunk becomes one attention instance, and subsampling keeps shape.
+	steps := obs.ReplaySteps(events)
+	if len(steps) == 0 {
+		t.Fatal("no attention steps extracted")
+	}
+	var decodes, prefillToks int
+	for _, s := range steps {
+		if s.Rows < 1 {
+			t.Fatalf("step sample with %d rows", s.Rows)
+		}
+		if s.Prefill {
+			prefillToks += int(s.Tokens)
+		} else if !s.Replay {
+			decodes++
+		}
+	}
+	if decodes != sum.DecodeSteps {
+		t.Fatalf("extracted %d decode samples, summary counted %d", decodes, sum.DecodeSteps)
+	}
+	if int64(prefillToks) != sum.PrefillTokens || int64(prefillToks) != res.SharedPromptToks {
+		t.Fatalf("prefill tokens: samples %d, summary %d, engine %d",
+			prefillToks, sum.PrefillTokens, res.SharedPromptToks)
+	}
+	if thin := obs.SampleEvenly(steps, 8); len(thin) != 8 {
+		t.Fatalf("SampleEvenly kept %d of %d samples, want 8", len(thin), len(steps))
+	}
+}

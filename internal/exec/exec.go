@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Tasks is one batch of independent tasks, indexed [0, n).
@@ -75,6 +76,40 @@ func ResolveWidth(flag int) int {
 	return flag
 }
 
+// SlotStats is the execution accounting of one scratch slot (or, summed,
+// of a whole executor): tasks run, tasks stolen from another slot's span,
+// and cumulative busy time inside task batches.
+type SlotStats struct {
+	Tasks  int64 `json:"tasks"`
+	Steals int64 `json:"steals"`
+	BusyNs int64 `json:"busy_ns"`
+}
+
+// Add accumulates o into s.
+func (s *SlotStats) Add(o SlotStats) {
+	s.Tasks += o.Tasks
+	s.Steals += o.Steals
+	s.BusyNs += o.BusyNs
+}
+
+// StatsOf returns ex's aggregate slot stats when it collects them (the pool
+// executor does; Serial runs inline and reports zero).
+func StatsOf(ex Executor) SlotStats {
+	if p, ok := ex.(*Pool); ok {
+		return p.StatsTotal()
+	}
+	return SlotStats{}
+}
+
+// slotStat is the padded per-slot accounting cell: slots publish with
+// atomic adds once per batch, readers (metrics scrapes) merge on read.
+type slotStat struct {
+	tasks  atomic.Int64
+	steals atomic.Int64
+	busy   atomic.Int64
+	_      [40]byte
+}
+
 // span is a [lo, hi) range of pending task indices packed into one atomic
 // word (hi<<32 | lo). The owning slot takes from the front, thieves take
 // from the back, and a CAS arbitrates the last element.
@@ -122,6 +157,7 @@ func (s *span) steal() (int, bool) {
 type Pool struct {
 	width int
 	spans []span
+	stats []slotStat
 	wakes []chan struct{} // one per resident worker (slots 1..width-1)
 	wg    sync.WaitGroup  // per-batch participation of the resident workers
 	once  sync.Once       // Close
@@ -140,6 +176,7 @@ func NewPool(width int) *Pool {
 	p := &Pool{
 		width: width,
 		spans: make([]span, width),
+		stats: make([]slotStat, width),
 		wakes: make([]chan struct{}, width-1),
 	}
 	for i := range p.wakes {
@@ -199,8 +236,12 @@ func (p *Pool) work(slot int) {
 }
 
 // participate drains the slot's own chunk front-to-back, then steals from
-// the other participants' backs until the batch is dry.
+// the other participants' backs until the batch is dry. Accounting is
+// accumulated in locals and published with one atomic add per counter per
+// batch, so per-task cost stays a plain increment.
 func (p *Pool) participate(slot int) {
+	start := time.Now()
+	var ran, stolen int64
 	tasks := p.tasks
 	for {
 		t, ok := p.spans[slot].take()
@@ -208,6 +249,7 @@ func (p *Pool) participate(slot int) {
 			break
 		}
 		tasks.Do(t, slot)
+		ran++
 	}
 	for {
 		idle := true
@@ -218,13 +260,43 @@ func (p *Pool) participate(slot int) {
 			}
 			if t, ok := p.spans[victim].steal(); ok {
 				tasks.Do(t, slot)
+				ran++
+				stolen++
 				idle = false
 			}
 		}
 		if idle {
-			return
+			break
 		}
 	}
+	st := &p.stats[slot]
+	st.tasks.Add(ran)
+	st.steals.Add(stolen)
+	st.busy.Add(int64(time.Since(start)))
+}
+
+// SlotStats snapshots the per-slot accounting (read path; allocates).
+func (p *Pool) SlotStats() []SlotStats {
+	out := make([]SlotStats, p.width)
+	for i := range p.stats {
+		out[i] = SlotStats{
+			Tasks:  p.stats[i].tasks.Load(),
+			Steals: p.stats[i].steals.Load(),
+			BusyNs: p.stats[i].busy.Load(),
+		}
+	}
+	return out
+}
+
+// StatsTotal sums the per-slot accounting without allocating.
+func (p *Pool) StatsTotal() SlotStats {
+	var total SlotStats
+	for i := range p.stats {
+		total.Tasks += p.stats[i].tasks.Load()
+		total.Steals += p.stats[i].steals.Load()
+		total.BusyNs += p.stats[i].busy.Load()
+	}
+	return total
 }
 
 // Close implements Executor: stops the resident workers. Must not be called

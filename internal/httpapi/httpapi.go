@@ -9,9 +9,22 @@
 //	     token, a final chunk carrying finish_reason and usage, then the
 //	     literal "data: [DONE]" terminator).
 //	GET  /v1/stats       — engine Report (session/token counters, attention
-//	     transfer statistics, KV pool, prefix index) as JSON.
+//	     transfer statistics, KV pool, prefix index, executor accounting)
+//	     plus TTFT / inter-token / queue-wait latency summaries, as JSON.
+//	GET  /v1/trace       — the newest lifecycle span events from the engine
+//	     tracer's ring buffer (404 when tracing is disabled).
 //	GET  /healthz        — liveness probe ("ok" once the engine accepts
 //	     requests); CI and load balancers poll it while the model warms up.
+//	GET  /readyz         — readiness probe: 200 "ready" normally, 503
+//	     "draining" after SetDraining(true) (the serve binary flips it on
+//	     SIGTERM so balancers stop routing here while in-flight sessions
+//	     run to completion).
+//	GET  /metrics        — the engine's metric families in the Prometheus
+//	     text exposition format.
+//
+// Every request is instrumented: per-route request counters by status
+// class, per-route latency histograms, and an in-flight gauge, all on the
+// engine's metrics registry.
 //
 // Request validation failures map to 400 with the offending field,
 // admission backpressure (serve.ErrBusy) to 429, and a closed engine to
@@ -48,11 +61,13 @@ type Options struct {
 
 // Handler serves the HTTP API over one engine.
 type Handler struct {
-	engine *serve.Server
-	opts   Options
-	mux    *http.ServeMux
-	start  time.Time
-	nextID atomic.Int64
+	engine   *serve.Server
+	opts     Options
+	mux      *http.ServeMux
+	start    time.Time
+	nextID   atomic.Int64
+	draining atomic.Bool
+	hm       *httpMetrics
 }
 
 // New builds the front-end handler over a running engine.
@@ -64,8 +79,12 @@ func New(engine *serve.Server, opts Options) *Handler {
 		opts.MaxBodyBytes = 1 << 20
 	}
 	h := &Handler{engine: engine, opts: opts, mux: http.NewServeMux(), start: time.Now()}
+	h.hm = newHTTPMetrics(engine.Metrics().Registry)
 	h.mux.HandleFunc("POST /v1/completions", h.completions)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /v1/trace", h.traceTail)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("GET /readyz", h.readyz)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -73,8 +92,19 @@ func New(engine *serve.Server, opts Options) *Handler {
 	return h
 }
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, wrapping every route in the metrics
+// middleware: in-flight gauge, per-route latency histogram, and status-class
+// counters.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rm := h.hm.route(r.URL.Path)
+	h.hm.inFlight.Add(1)
+	start := time.Now()
+	ww, sw := wrapWriter(w)
+	h.mux.ServeHTTP(ww, r)
+	h.hm.inFlight.Add(-1)
+	rm.lat.Observe(time.Since(start).Seconds())
+	rm.count(sw.status)
+}
 
 // completionRequest is the POST /v1/completions body. Prompt and stop
 // sequences are token ids — the bundled model speaks the synthetic-corpus
@@ -328,6 +358,9 @@ type statsResponse struct {
 	APIVersion    int          `json:"api_version"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Report        serve.Report `json:"report"`
+	// Latency digests TTFT, inter-token, and queue-wait from the engine's
+	// metric histograms: count, mean, and interpolated p50/p95/p99.
+	Latency latencyBlock `json:"latency"`
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -337,5 +370,6 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		APIVersion:    serve.APIVersion,
 		UptimeSeconds: time.Since(h.start).Seconds(),
 		Report:        h.engine.Report(),
+		Latency:       h.latency(),
 	})
 }

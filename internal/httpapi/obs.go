@@ -1,0 +1,209 @@
+package httpapi
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"tokenpicker/internal/obs"
+)
+
+// instrumentedRoutes is the fixed label set of the per-route HTTP families;
+// anything else aggregates under "other" so an URL-scanning crawler cannot
+// mint unbounded series.
+var instrumentedRoutes = []string{
+	"/v1/completions", "/v1/stats", "/v1/trace", "/healthz", "/readyz", "/metrics",
+}
+
+// routeMetrics is one route's request accounting: status-class counters and
+// a latency histogram.
+type routeMetrics struct {
+	c2xx, c3xx, c4xx, c5xx *obs.Counter
+	lat                    *obs.Histogram
+}
+
+func (rm *routeMetrics) count(status int) {
+	switch {
+	case status < 300:
+		rm.c2xx.Inc()
+	case status < 400:
+		rm.c3xx.Inc()
+	case status < 500:
+		rm.c4xx.Inc()
+	default:
+		rm.c5xx.Inc()
+	}
+}
+
+// httpMetrics is the front-end's slice of the engine registry.
+type httpMetrics struct {
+	inFlight *obs.Gauge
+	routes   map[string]*routeMetrics
+	other    *routeMetrics
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	hm := &httpMetrics{
+		inFlight: reg.Gauge("topick_http_in_flight", "HTTP requests currently being served.", ""),
+		routes:   make(map[string]*routeMetrics, len(instrumentedRoutes)),
+	}
+	mk := func(route string) *routeMetrics {
+		series := func(code string) *obs.Counter {
+			return reg.Counter("topick_http_requests_total", "HTTP requests by route and status class.",
+				`route="`+route+`",code="`+code+`"`)
+		}
+		return &routeMetrics{
+			c2xx: series("2xx"), c3xx: series("3xx"), c4xx: series("4xx"), c5xx: series("5xx"),
+			lat: reg.Histogram("topick_http_request_seconds", "HTTP request latency by route.",
+				`route="`+route+`"`, nil),
+		}
+	}
+	for _, r := range instrumentedRoutes {
+		hm.routes[r] = mk(r)
+	}
+	hm.other = mk("other")
+	return hm
+}
+
+func (hm *httpMetrics) route(path string) *routeMetrics {
+	if rm, ok := hm.routes[path]; ok {
+		return rm
+	}
+	return hm.other
+}
+
+// statusWriter records the first status code committed to the response; the
+// observed status defaults to 200 on the implicit-WriteHeader path, matching
+// net/http semantics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// flushWriter adds Flusher passthrough so the SSE path still streams through
+// the instrumented writer.
+type flushWriter struct {
+	*statusWriter
+	f http.Flusher
+}
+
+func (fw *flushWriter) Flush() { fw.f.Flush() }
+
+// wrapWriter instruments w, preserving its Flusher capability: the SSE
+// handler type-asserts for it and must see exactly what the underlying
+// writer offers.
+func wrapWriter(w http.ResponseWriter) (http.ResponseWriter, *statusWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	if f, ok := w.(http.Flusher); ok {
+		return &flushWriter{statusWriter: sw, f: f}, sw
+	}
+	return sw, sw
+}
+
+// SetDraining flips the readiness probe: while draining, GET /readyz answers
+// 503 so load balancers stop routing new work here, while /healthz keeps
+// reporting liveness and in-flight sessions run to completion. The serve
+// binary sets it on SIGTERM before the engine drain begins.
+func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
+
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.engine.Metrics().Registry.WritePrometheus(w)
+}
+
+// traceTail serves GET /v1/trace: the newest ?n= events (default 256) from
+// the engine tracer's ring, each in the JSONL wire shape, wrapped in one
+// JSON object with the schema version and the epoch T is measured from.
+func (h *Handler) traceTail(w http.ResponseWriter, r *http.Request) {
+	tr := h.engine.Tracer()
+	if tr == nil {
+		h.writeError(w, http.StatusNotFound, "invalid_request_error", "",
+			"tracing disabled: start the server with a tracer (-trace-buf)")
+		return
+	}
+	n := 256
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			h.writeError(w, http.StatusBadRequest, "invalid_request_error", "n",
+				"n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	events := tr.Tail(n) // clamped to the ring capacity
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"trace_schema":%d,"epoch_unix_nano":%d,"total":%d,"events":[`,
+		obs.TraceSchemaVersion, tr.Epoch().UnixNano(), tr.Total())
+	var buf []byte
+	for i, ev := range events {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		buf = obs.AppendEvent(buf[:0], ev)
+		w.Write(bytes.TrimSuffix(buf, []byte("\n")))
+	}
+	io.WriteString(w, "]}\n")
+}
+
+// latencySummary is the quantile digest of one latency histogram on
+// /v1/stats, estimated from the fixed metric buckets.
+type latencySummary struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+func summarize(h *obs.Histogram) latencySummary {
+	return latencySummary{
+		Count:       h.Count(),
+		MeanSeconds: h.Mean(),
+		P50Seconds:  h.Quantile(0.50),
+		P95Seconds:  h.Quantile(0.95),
+		P99Seconds:  h.Quantile(0.99),
+	}
+}
+
+// latencyBlock is the "latency" member of the /v1/stats body.
+type latencyBlock struct {
+	TTFT       latencySummary `json:"ttft"`
+	InterToken latencySummary `json:"inter_token"`
+	QueueWait  latencySummary `json:"queue_wait"`
+}
+
+func (h *Handler) latency() latencyBlock {
+	m := h.engine.Metrics()
+	return latencyBlock{
+		TTFT:       summarize(m.TTFT),
+		InterToken: summarize(m.InterToken),
+		QueueWait:  summarize(m.QueueWait),
+	}
+}

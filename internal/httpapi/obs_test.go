@@ -1,0 +1,253 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tokenpicker/internal/attention"
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/obs"
+	"tokenpicker/internal/serve"
+	"tokenpicker/internal/train"
+)
+
+// newObsServer boots an engine with a tracer attached plus its front-end.
+func newObsServer(t *testing.T) (*train.Result, *Handler, *httptest.Server) {
+	t.Helper()
+	r := train.TestModel()
+	engine := serve.NewServer(r.Params, serve.Config{
+		Workers:   2,
+		BlockRows: 16,
+		Tracer:    obs.NewTracer(1 << 12),
+		NewKernel: func() model.Kernel { return attention.NewTokenPicker(1e-3) },
+	})
+	h := New(engine, Options{Model: "topick-test"})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		engine.Close()
+	})
+	return r, h, ts
+}
+
+func getStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestReadyzDrainFlip pins the probe contract: /readyz answers 200 until
+// SetDraining flips it to 503 (load balancers stop routing), while
+// /healthz keeps answering 200 throughout — liveness must not fail during
+// a graceful drain or the orchestrator kills the pod mid-handoff.
+func TestReadyzDrainFlip(t *testing.T) {
+	_, h, ts := newObsServer(t)
+
+	if code, body := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz before drain: %d %q", code, body)
+	}
+	h.SetDraining(true)
+	if code, body := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz while draining: %d %q", code, body)
+	}
+	if code, _ := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, liveness must hold", code)
+	}
+	h.SetDraining(false)
+	if code, _ := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after drain cancel: %d", code)
+	}
+}
+
+// checkPromFormat is a line-level Prometheus text-format check: every line
+// is a # HELP / # TYPE comment or a `name{labels} value` sample, and every
+// sample's family was announced by a TYPE line first.
+func checkPromFormat(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	typed := map[string]bool{}
+	samples := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("metrics line %d: empty", i+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("metrics line %d: malformed comment %q", i+1, line)
+			}
+			if f[1] == "TYPE" {
+				typed[f[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 1 {
+			t.Fatalf("metrics line %d: no value separator in %q", i+1, line)
+		}
+		name := line[:sp] // full series name, labels included
+		family := name
+		if b := strings.IndexByte(family, '{'); b >= 0 {
+			if !strings.HasSuffix(family, "}") {
+				t.Fatalf("metrics line %d: unclosed label braces in %q", i+1, line)
+			}
+			family = family[:b]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(family, suf); t != family && typed[t] {
+				family = t
+				break
+			}
+		}
+		if !typed[family] {
+			t.Fatalf("metrics line %d: sample %q precedes its TYPE line", i+1, line)
+		}
+		samples[name] = true
+	}
+	return samples
+}
+
+// TestMetricsEndpointScrapes drives one completion through the engine and
+// scrapes /metrics: the body must be well-formed Prometheus text and carry
+// the engine families (sessions, tokens, pool, latency histograms) plus the
+// front-end's own per-route middleware counters.
+func TestMetricsEndpointScrapes(t *testing.T) {
+	r, _, ts := newObsServer(t)
+	pj, _ := json.Marshal(r.Held[:16])
+	resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"prompt": %s, "max_tokens": 4}`, pj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	samples := checkPromFormat(t, string(raw))
+
+	for _, want := range []string{
+		"topick_sessions_admitted_total",
+		`topick_sessions_finished_total{reason="length"}`,
+		"topick_generated_tokens_total",
+		"topick_prompt_tokens_total",
+		"topick_pool_blocks_in_use",
+		"topick_queue_depth",
+		"topick_ttft_seconds_count",
+		"topick_decode_step_seconds_count",
+		"topick_http_in_flight",
+		`topick_http_requests_total{route="/v1/completions",code="2xx"}`,
+	} {
+		if !samples[want] {
+			t.Errorf("metrics body missing sample %q", want)
+		}
+	}
+	// The completion the scrape follows must already be on the counters.
+	if !strings.Contains(string(raw), "topick_sessions_admitted_total 1") {
+		t.Errorf("admitted counter not at 1:\n%s", raw)
+	}
+}
+
+// TestTraceEndpoint exercises /v1/trace: 404 when the engine runs without
+// a tracer, and a schema-stamped JSON tail of real lifecycle events when
+// one is attached.
+func TestTraceEndpoint(t *testing.T) {
+	t.Run("no tracer", func(t *testing.T) {
+		_, _, ts := newTestServer(t) // plain engine, Config.Tracer nil
+		if code, _ := getStatus(t, ts.URL+"/v1/trace"); code != http.StatusNotFound {
+			t.Fatalf("trace without tracer: %d, want 404", code)
+		}
+	})
+
+	r, _, ts := newObsServer(t)
+	pj, _ := json.Marshal(r.Held[:16])
+	resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"prompt": %s, "max_tokens": 4}`, pj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	tresp, err := http.Get(ts.URL + "/v1/trace?n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var body struct {
+		Schema int               `json:"trace_schema"`
+		Epoch  int64             `json:"epoch_unix_nano"`
+		Total  uint64            `json:"total"`
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode trace tail: %v", err)
+	}
+	if body.Schema != obs.TraceSchemaVersion {
+		t.Fatalf("trace schema %d, want %d", body.Schema, obs.TraceSchemaVersion)
+	}
+	if body.Total == 0 || len(body.Events) == 0 {
+		t.Fatalf("trace tail empty after a completion: total %d, %d events", body.Total, len(body.Events))
+	}
+	// Each event is one JSONL line; the obs parser must accept the tail.
+	var lines strings.Builder
+	for _, ev := range body.Events {
+		lines.Write(ev)
+		lines.WriteByte('\n')
+	}
+	events, err := obs.ParseTrace(strings.NewReader(lines.String()))
+	if err != nil {
+		t.Fatalf("tail events do not re-parse: %v", err)
+	}
+	if err := obs.ValidateTimeline(events, true); err != nil {
+		t.Fatalf("tail timeline inconsistent: %v", err)
+	}
+}
+
+// TestStatsLatencyBlock checks the /v1/stats extension: after traffic, the
+// latency block carries a non-empty TTFT digest with ordered quantiles.
+func TestStatsLatencyBlock(t *testing.T) {
+	r, _, ts := newObsServer(t)
+	pj, _ := json.Marshal(r.Held[:16])
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"prompt": %s, "max_tokens": 6}`, pj)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sr statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	lat := sr.Latency
+	if lat.TTFT.Count != 3 {
+		t.Fatalf("ttft count %d, want 3", lat.TTFT.Count)
+	}
+	if lat.TTFT.P50Seconds <= 0 || lat.TTFT.P50Seconds > lat.TTFT.P99Seconds {
+		t.Fatalf("ttft quantiles unordered: p50 %g p99 %g", lat.TTFT.P50Seconds, lat.TTFT.P99Seconds)
+	}
+	if lat.InterToken.Count == 0 {
+		t.Fatalf("inter-token digest empty after %d-token completions", 6)
+	}
+}

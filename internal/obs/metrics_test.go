@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardsMergeOnRead(t *testing.T) {
+	c := newCounter(8)
+	var wg sync.WaitGroup
+	for slot := 0; slot < 8; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddSlot(slot, 1)
+			}
+		}(slot)
+	}
+	wg.Wait()
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 8006 {
+		t.Fatalf("counter merged to %d, want 8006", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge %d, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform in (0, 4]: p50 ≈ 2, p99 ≈ 4.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count %d, want 100", got)
+	}
+	if got := h.Sum(); math.Abs(got-202.0) > 1e-6 {
+		t.Fatalf("sum %g, want 202", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1.5 || p50 > 2.5 {
+		t.Fatalf("p50 %g out of [1.5, 2.5]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 3.5 || p99 > 4.0 {
+		t.Fatalf("p99 %g out of [3.5, 4]", p99)
+	}
+	// Overflow values clamp to the last finite bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.9); got != 1 {
+		t.Fatalf("overflow quantile %g, want clamp to 1", got)
+	}
+	if h2.Quantile(0.5) != 1 {
+		t.Fatalf("want clamped quantile for +Inf-only histogram")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram(DefDurationBuckets())
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile %g, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty histogram mean %g, want 0", got)
+	}
+}
+
+// validatePrometheus is a strict-enough checker of the text exposition
+// format: every non-comment line is `name[{labels}] value`, every family
+// has HELP and TYPE headers before its samples, histogram bucket counts are
+// cumulative and end with +Inf.
+func validatePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value %q: %v", key, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unbalanced label braces: %q", line)
+			}
+			name = key[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if _, ok := typed[trimmed]; ok && typed[trimmed] == "histogram" {
+					family = trimmed
+				}
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("sample %q has no TYPE header", line)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	admitted := r.Counter("topick_sessions_admitted_total", "sessions admitted", "")
+	finLen := r.Counter("topick_sessions_finished_total", "finished sessions", `reason="length"`)
+	finStop := r.Counter("topick_sessions_finished_total", "finished sessions", `reason="stop"`)
+	depth := r.Gauge("topick_queue_depth", "run queue depth", "")
+	r.GaugeFunc("topick_pool_blocks_in_use", "pool occupancy", "", func() float64 { return 42 })
+	r.CounterFunc("topick_prefix_hits_total", "prefix probe hits", "", func() float64 { return 9 })
+	ttft := r.Histogram("topick_ttft_seconds", "time to first token", "", nil)
+
+	admitted.Add(12)
+	finLen.Add(10)
+	finStop.Add(2)
+	depth.Set(3)
+	ttft.Observe(0.004)
+	ttft.Observe(0.02)
+	ttft.Observe(99) // beyond the last bound → +Inf bucket
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	samples := validatePrometheus(t, text)
+
+	if samples["topick_sessions_admitted_total"] != 12 {
+		t.Fatalf("admitted sample wrong: %v", samples["topick_sessions_admitted_total"])
+	}
+	if samples[`topick_sessions_finished_total{reason="length"}`] != 10 ||
+		samples[`topick_sessions_finished_total{reason="stop"}`] != 2 {
+		t.Fatalf("labelled counter series wrong:\n%s", text)
+	}
+	if samples["topick_pool_blocks_in_use"] != 42 {
+		t.Fatalf("gauge func sample wrong")
+	}
+	if samples[`topick_ttft_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket should be cumulative total 3:\n%s", text)
+	}
+	if samples["topick_ttft_seconds_count"] != 3 {
+		t.Fatalf("histogram count wrong")
+	}
+	// Cumulative buckets must be non-decreasing.
+	var prev float64
+	for _, ub := range DefDurationBuckets() {
+		key := fmt.Sprintf("topick_ttft_seconds_bucket{le=\"%s\"}", formatFloat(ub))
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s regressed: %g < %g", key, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegistryRejectsTypeConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("topick_x_total", "x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter family as gauge should panic")
+		}
+	}()
+	r.Gauge("topick_x_total", "x", "")
+}
+
+func TestRecordPathsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", "")
+	g := r.Gauge("g", "g", "")
+	h := r.Histogram("h_seconds", "h", "", nil)
+	tr := NewTracer(64)
+	jw := NewJSONLWriter(io.Discard)
+	tr.SetSink(jw)
+	ev := Event{Session: 1, Kind: KindDecodeStep, Step: 3, Tokens: 1, Rows: 100}
+	// Warm the sink's buffers.
+	for i := 0; i < 4; i++ {
+		tr.Record(ev)
+	}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.AddSlot(3, 1) }},
+		{"Gauge.Set", func() { g.Set(9) }},
+		{"Histogram.Observe", func() { h.Observe(0.003) }},
+		{"Tracer.Record+JSONL", func() { tr.Record(ev) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %g times per call", tc.name, allocs)
+		}
+	}
+}

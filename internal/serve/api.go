@@ -18,8 +18,10 @@ import (
 )
 
 // APIVersion identifies the generation request/response contract this
-// package implements; it only moves on incompatible redesigns.
-const APIVersion = 2
+// package implements; it only moves on incompatible redesigns. Version 3
+// added the observability surface: latency summaries on /v1/stats, the
+// /metrics, /readyz, and /v1/trace endpoints, and the Report.Exec field.
+const APIVersion = 3
 
 // ErrInvalidRequest is the sentinel every *ValidationError matches with
 // errors.Is; transports map it to a 400-class failure.

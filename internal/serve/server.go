@@ -25,6 +25,7 @@ import (
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/exec"
 	"tokenpicker/internal/model"
+	"tokenpicker/internal/obs"
 	"tokenpicker/internal/sample"
 )
 
@@ -100,6 +101,15 @@ type Config struct {
 	// ReasonRejected. 0 means the default (3); negative disables
 	// preemption entirely, restoring reject-on-exhaustion.
 	MaxPreempts int
+	// Tracer, when set, receives a typed span event for every lifecycle
+	// transition of every session — submit, queueing, prefill chunks,
+	// decode and replay steps, prefix adoptions, the whole preemption
+	// ladder (preempt/park/resume), and the terminal finish (Detail is the
+	// ReasonCode). Each event samples queue depth, dispatch concurrency,
+	// and pool occupancy at emission. Recording is allocation-free, so the
+	// tracer may stay attached in production; nil disables tracing with no
+	// hot-path cost beyond one predictable branch.
+	Tracer *obs.Tracer
 	// Detokenize, when set, decodes a generated token id into its text
 	// form; the engine stamps it onto every Event so transports (the SSE
 	// front-end) can stream text without a second lookup. Must be
@@ -167,6 +177,7 @@ type Result struct {
 
 // session is one admitted request moving through the scheduler.
 type session struct {
+	id        uint64 // 1-based admission sequence, the trace session id
 	ctx       context.Context
 	cancel    context.CancelFunc // releases the session's derived context
 	req       GenerateRequest
@@ -177,6 +188,9 @@ type session struct {
 	sampler   *sample.Chain
 	submitted time.Time
 	firstTok  time.Time // zero until the first token is emitted
+	lastTok   time.Time // previous emission (inter-token latency)
+	started   bool      // first dispatch quantum has begun
+	parked    bool      // sitting on (or just promoted off) the stalled list
 	promptPos int       // prompt tokens consumed so far
 	next      int       // next token to feed to Step (already emitted)
 	generated int
@@ -220,6 +234,9 @@ type Server struct {
 	pool     *Pool
 	prefixes *prefixIndex // nil unless Config.SharePrefix
 	sched    scheduler
+	execs    []exec.Executor // one head executor per worker, indexed by worker id
+	met      *Metrics
+	tracer   *obs.Tracer    // nil unless Config.Tracer
 	wg       sync.WaitGroup // workers
 	sessWG   sync.WaitGroup // in-flight sessions
 
@@ -255,6 +272,9 @@ type Report struct {
 	Pool            PoolStats
 	// Prefix is the prefix-sharing index accounting (zero when disabled).
 	Prefix PrefixStats
+	// Exec aggregates the head-parallel executors' slot accounting: tasks
+	// run, tasks stolen, cumulative busy time (zero under serial execution).
+	Exec exec.SlotStats
 }
 
 // Completed sums finished sessions across reasons.
@@ -280,15 +300,65 @@ func NewServer(params *model.Params, cfg Config) *Server {
 	}
 	s.sched.cond = sync.NewCond(&s.sched.mu)
 	s.sched.resumeGate = s.pool.hasCapacity
+	s.tracer = cfg.Tracer
+	s.met = newMetrics(s)
+	// Executors live on the server (not inside the worker goroutines) so the
+	// metrics layer can read their slot accounting at scrape time.
+	s.execs = make([]exec.Executor, cfg.Workers)
+	for i := range s.execs {
+		s.execs[i] = exec.New(cfg.HeadParallel)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
 
 // Pool exposes the server's KV block pool (read its Stats for reporting).
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Metrics exposes the engine's metric families (always non-nil); render them
+// with Metrics().Registry.WritePrometheus or read individual counters and
+// histograms directly.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Tracer returns the lifecycle tracer configured at construction, nil when
+// tracing is disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// execStats sums the slot accounting of every worker's head executor.
+func (s *Server) execStats() exec.SlotStats {
+	var total exec.SlotStats
+	for _, ex := range s.execs {
+		total.Add(exec.StatsOf(ex))
+	}
+	return total
+}
+
+// trace records one lifecycle event for sess, sampling queue depth, dispatch
+// concurrency, and pool occupancy at emission. Callers must hold no engine
+// locks. No-op without a tracer.
+func (s *Server) trace(sess *session, kind obs.Kind, step, tokens, rows, detail int32) {
+	if s.tracer == nil {
+		return
+	}
+	queued, stalled, running := s.sched.depths()
+	ps := s.pool.Stats()
+	s.tracer.Record(obs.Event{
+		Session: sess.id,
+		Kind:    kind,
+		Step:    step,
+		Tokens:  tokens,
+		Rows:    rows,
+		Batch:   int32(running),
+		Queue:   int32(queued),
+		Stalled: int32(stalled),
+		InUse:   int32(ps.InUse),
+		Free:    int32(ps.Free),
+		Detail:  detail,
+	})
+}
 
 // Submit admits a generation request. The request is validated first — a
 // *ValidationError (matching ErrInvalidRequest, and ErrEmptyPrompt /
@@ -332,12 +402,14 @@ func (s *Server) Submit(ctx context.Context, req GenerateRequest) (*Stream, erro
 		s.peak = s.active
 	}
 	s.admitted++
+	id := uint64(s.admitted) // 1-based admission sequence = trace session id
 	// Register with the drain group while still holding the lock: a
 	// concurrent Close observes either closed-before-us (we bailed above)
 	// or a non-zero session count, never a window where the session is
 	// admitted but invisible to sessWG.Wait.
 	s.sessWG.Add(1)
 	s.mu.Unlock()
+	s.met.Admitted.Inc()
 
 	// A session can emit at most MaxSeq - len(prompt) + 1 tokens before the
 	// window fills (the +1 is the token sampled from the final prompt
@@ -355,6 +427,7 @@ func (s *Server) Submit(ctx context.Context, req GenerateRequest) (*Stream, erro
 	sctx, cancel := context.WithCancel(ctx)
 	events := make(chan Event, buf)
 	sess := &session{
+		id:        id,
 		ctx:       sctx,
 		cancel:    cancel,
 		req:       req,
@@ -366,9 +439,11 @@ func (s *Server) Submit(ctx context.Context, req GenerateRequest) (*Stream, erro
 		penCtx:    append(make([]int, 0, len(req.Prompt)+buf), req.Prompt...),
 	}
 	sess.stream = &Stream{events: events, done: make(chan struct{}), cancel: cancel}
+	s.trace(sess, obs.KindSubmit, 0, 0, 0, 0)
 	if s.prefixes != nil {
 		s.adoptPrefix(sess, true)
 	}
+	s.trace(sess, obs.KindQueued, 0, 0, 0, 0)
 	s.sched.push(sess)
 	return sess.stream, nil
 }
@@ -391,6 +466,8 @@ func (s *Server) adoptPrefix(sess *session, firstProbe bool) {
 	sess.promptPos = rows
 	sess.adopted = rows
 	sess.adoptedAll += rows
+	s.met.PrefixRows.Add(int64(rows))
+	s.trace(sess, obs.KindPrefixAdopt, 0, int32(rows), int32(rows), 0)
 }
 
 // Close stops admission, waits for in-flight sessions to drain, shuts the
@@ -405,6 +482,9 @@ func (s *Server) Close() {
 		s.sessWG.Wait()
 		s.sched.close()
 		s.wg.Wait()
+		for _, ex := range s.execs {
+			ex.Close()
+		}
 		if s.prefixes != nil {
 			s.prefixes.evictAll()
 		}
@@ -424,6 +504,7 @@ func (s *Server) Report() Report {
 		Preempted:       s.preempted,
 		RecomputeTokens: s.recompute,
 		Pool:            s.pool.Stats(),
+		Exec:            s.execStats(),
 	}
 	if s.prefixes != nil {
 		r.Prefix = s.prefixes.Stats()
@@ -440,20 +521,19 @@ func (s *Server) Report() Report {
 // them for the duration of a quantum (per-session state — the KV caches and
 // their quantized side-cars — travels with the session's decoder, so the
 // hand-off is safe).
-func (s *Server) worker() {
+func (s *Server) worker(wid int) {
 	defer s.wg.Done()
 	var kernel model.Kernel
 	if s.cfg.NewKernel != nil {
 		kernel = s.cfg.NewKernel()
 	}
-	ex := exec.New(s.cfg.HeadParallel)
-	defer ex.Close()
+	ex := s.execs[wid]
 	for {
 		sess, ok := s.sched.pop()
 		if !ok {
 			return
 		}
-		done := s.dispatch(sess, kernel, ex)
+		done := s.dispatch(sess, kernel, ex, wid)
 		if sk, ok := kernel.(statKernel); ok {
 			delta := sk.Stats()
 			sk.ResetStats()
@@ -471,7 +551,19 @@ func (s *Server) worker() {
 // dispatch advances one session by a single quantum: a prompt chunk while
 // the prompt is unconsumed, then Quantum generation steps. It reports
 // whether the session finished.
-func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) bool {
+func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor, wid int) bool {
+	if sess.parked {
+		// Promoted off the stalled list: record the resume before anything
+		// else can happen to the session (cancellation included), so every
+		// park in the trace is matched.
+		sess.parked = false
+		s.trace(sess, obs.KindResume, int32(sess.generated), 0, 0, 0)
+	}
+	if !sess.started {
+		sess.started = true
+		s.met.QueueWait.Observe(time.Since(sess.submitted).Seconds())
+		s.trace(sess, obs.KindAdmitted, 0, 0, 0, 0)
+	}
 	if err := sess.ctx.Err(); err != nil {
 		s.finish(sess, Result{Reason: ReasonCanceled, Err: err})
 		return true
@@ -480,7 +572,7 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 	sess.dec.Exec = ex
 
 	if sess.promptPos < len(sess.req.Prompt) {
-		return s.prefill(sess)
+		return s.prefill(sess, wid)
 	}
 	// Count steps locally and publish once per quantum — the per-token
 	// path must not take the global mutex.
@@ -504,20 +596,29 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 			// it, so the KV rows rebuild bit-identically — without emitting
 			// anything. Replay shares the quantum budget: a deep session
 			// catching up must not starve its peers.
+			start := time.Now()
 			if _, err := sess.dec.Step(sess.gen()[sess.replayPos]); err != nil {
 				return s.storageErr(sess, err)
 			}
+			s.met.DecodeStep.Observe(time.Since(start).Seconds())
 			sess.replayPos++
 			sess.recomputed++
 			replayed++
+			s.met.Recomputed.AddSlot(wid, 1)
+			s.trace(sess, obs.KindReplayStep, int32(sess.generated), 0, int32(sess.dec.Len()), 0)
 			continue
 		}
+		start := time.Now()
 		logits, err := sess.dec.Step(sess.next)
 		if err != nil {
 			return s.storageErr(sess, err)
 		}
+		s.met.DecodeStep.Observe(time.Since(start).Seconds())
 		stepped++
-		if s.advance(sess, logits) {
+		// Traced before advance: advance may finish the session, and finish
+		// must stay its last trace event.
+		s.trace(sess, obs.KindDecodeStep, int32(sess.generated+1), 1, int32(sess.dec.Len()), 0)
+		if s.advance(sess, logits, wid) {
 			return true
 		}
 	}
@@ -528,7 +629,7 @@ func (s *Server) dispatch(sess *session, kernel model.Kernel, ex exec.Executor) 
 // it publishes the prompt's full blocks to the prefix index and samples and
 // emits the first generated token (unless the session is catching up after
 // a preemption, in which case its first token was emitted long ago).
-func (s *Server) prefill(sess *session) bool {
+func (s *Server) prefill(sess *session, wid int) bool {
 	if sess.promptPos == 0 && sess.adopted == 0 && s.prefixes != nil {
 		// The admission-time probe missed, but the index may have filled in
 		// the meantime (a same-prefix session published while this one sat
@@ -543,12 +644,16 @@ func (s *Server) prefill(sess *session) bool {
 	if end > len(sess.req.Prompt) {
 		end = len(sess.req.Prompt)
 	}
+	start := time.Now()
 	logits, err := sess.dec.Prompt(sess.req.Prompt[sess.promptPos:end])
 	// The decoder may have consumed part of the chunk before failing;
 	// account for what actually entered the KV cache.
 	consumed := sess.dec.Len() - sess.promptPos
 	sess.promptPos = sess.dec.Len()
 	if consumed > 0 {
+		s.met.PrefillChunk.Observe(time.Since(start).Seconds())
+		s.met.PromptTokens.AddSlot(wid, int64(consumed))
+		s.trace(sess, obs.KindPrefillChunk, int32(sess.generated), int32(consumed), int32(sess.promptPos), 0)
 		s.mu.Lock()
 		s.prompted += int64(consumed)
 		s.mu.Unlock()
@@ -564,7 +669,7 @@ func (s *Server) prefill(sess *session) bool {
 			// Preemption replay: move on to re-consuming emitted tokens.
 			return false
 		}
-		return s.advance(sess, logits)
+		return s.advance(sess, logits, wid)
 	}
 	return false
 }
@@ -585,24 +690,35 @@ func (s *Server) storageErr(sess *session, err error) bool {
 	// rung is cache reclamation, not preemption, so it runs even when
 	// MaxPreempts < 0 disables the preemption rungs below.
 	if s.prefixes != nil && s.prefixes.evictOne() {
+		s.met.LadderEvict.Inc()
 		return false // retry on the reclaimed blocks
 	}
 	if s.cfg.MaxPreempts < 0 {
+		s.met.LadderReject.Inc()
 		s.finishErr(sess, err)
 		return true
 	}
 	if v := s.sched.steal(sess.progress(), s.cfg.MaxPreempts); v != nil {
 		// The victim stalls until the run queue drains; this session retries
 		// on the victim's freed blocks at its next dispatch.
+		s.met.LadderSteal.Inc()
 		s.preempt(v)
+		s.trace(v, obs.KindPreempt, int32(v.generated), 0, 0, obs.PreemptStolen)
+		v.parked = true
+		s.trace(v, obs.KindPark, int32(v.generated), 0, 0, obs.PreemptStolen)
 		s.sched.stall(v)
 		return false
 	}
 	if sess.preempts < s.cfg.MaxPreempts && s.othersActive() {
+		s.met.LadderSelf.Inc()
 		s.preempt(sess)
+		s.trace(sess, obs.KindPreempt, int32(sess.generated), 0, 0, obs.PreemptSelf)
+		sess.parked = true
+		s.trace(sess, obs.KindPark, int32(sess.generated), 0, 0, obs.PreemptSelf)
 		s.sched.stall(sess)
 		return true
 	}
+	s.met.LadderReject.Inc()
 	s.finishErr(sess, err)
 	return true
 }
@@ -641,6 +757,7 @@ func (s *Server) preempt(sess *session) {
 	sess.adopted = 0
 	sess.preempts++
 	sess.dec.Reset()
+	s.met.Preemptions.Inc()
 	s.mu.Lock()
 	s.preempted++
 	s.mu.Unlock()
@@ -649,17 +766,22 @@ func (s *Server) preempt(sess *session) {
 // advance runs the sampler chain on logits, emits the chosen token as an
 // Event, and reports whether the session is finished (stop-sequence match
 // or length budget spent).
-func (s *Server) advance(sess *session, logits []float32) bool {
+func (s *Server) advance(sess *session, logits []float32, wid int) bool {
 	tok := sess.sampler.Sample(logits, sess.penCtx)
 	now := time.Now()
 	if sess.generated == 0 {
 		sess.firstTok = now
+		s.met.TTFT.Observe(now.Sub(sess.submitted).Seconds())
+	} else if !sess.lastTok.IsZero() {
+		s.met.InterToken.Observe(now.Sub(sess.lastTok).Seconds())
 	}
+	sess.lastTok = now
 	ev := Event{Token: tok, Index: sess.generated, Elapsed: now.Sub(sess.submitted)}
 	if s.cfg.Detokenize != nil {
 		ev.Text = s.cfg.Detokenize(tok)
 	}
 	sess.emit <- ev
+	s.met.Generated.AddSlot(wid, 1)
 	sess.next = tok
 	sess.penCtx = append(sess.penCtx, tok)
 	sess.generated++
@@ -702,6 +824,12 @@ func (s *Server) finish(sess *session, res Result) {
 	if !sess.firstTok.IsZero() {
 		res.TTFT = sess.firstTok.Sub(sess.submitted)
 	}
+	s.met.Finished[res.Reason].Inc()
+	// Traced before the blocks are released, so the finish event samples the
+	// occupancy the session was still holding.
+	s.trace(sess, obs.KindFinish,
+		int32(sess.generated), int32(sess.adoptedAll), int32(sess.promptPos),
+		ReasonCode(res.Reason))
 	sess.dec.Release()
 	sess.cancel() // release the derived context
 	close(sess.emit)
@@ -849,6 +977,14 @@ func (sc *scheduler) stalledLen() int {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	return len(sc.stalled)
+}
+
+// depths snapshots the scheduler's run-queue depth, parked-session count,
+// and in-flight dispatch count in one lock acquisition.
+func (sc *scheduler) depths() (queued, stalled, running int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.count, len(sc.stalled), sc.running
 }
 
 // steal removes and returns the least-progressed waiting session whose

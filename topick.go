@@ -56,7 +56,7 @@
 package tokenpicker
 
 import (
-	"net/http"
+	"io"
 
 	"tokenpicker/internal/attention"
 	"tokenpicker/internal/bench"
@@ -65,6 +65,7 @@ import (
 	"tokenpicker/internal/fixed"
 	"tokenpicker/internal/httpapi"
 	"tokenpicker/internal/model"
+	"tokenpicker/internal/obs"
 	"tokenpicker/internal/sample"
 	"tokenpicker/internal/serve"
 	"tokenpicker/internal/sim/arch"
@@ -206,12 +207,59 @@ func NewSampler(cfg SamplingConfig) (*SamplerChain, error) { return sample.New(c
 // HTTPOptions configures the HTTP front-end (model name, token decoding).
 type HTTPOptions = httpapi.Options
 
+// HTTPHandler is the OpenAI-style HTTP front-end; it implements
+// http.Handler. SetDraining(true) flips GET /readyz to 503 for
+// load-balancer drain during graceful shutdown.
+type HTTPHandler = httpapi.Handler
+
 // NewHTTPHandler wraps a Server in the OpenAI-style HTTP API:
 // POST /v1/completions (JSON; SSE streaming with a [DONE] terminator when
-// "stream" is true), GET /v1/stats (engine/pool/prefix statistics), and
-// GET /healthz. Serve it with net/http.
-func NewHTTPHandler(srv *Server, opts HTTPOptions) http.Handler {
+// "stream" is true), GET /v1/stats (engine/pool/prefix statistics and
+// latency summaries), GET /v1/trace (lifecycle span tail), GET /metrics
+// (Prometheus text format), GET /healthz (liveness), and GET /readyz
+// (readiness/draining). Serve it with net/http.
+func NewHTTPHandler(srv *Server, opts HTTPOptions) *HTTPHandler {
 	return httpapi.New(srv, opts)
+}
+
+// Observability types (engine-wide metrics and lifecycle tracing).
+type (
+	// ServeMetrics is the engine's zero-alloc metrics surface: lifecycle
+	// counters, latency histograms, and scrape-time views of the pool,
+	// prefix index, scheduler, and executors (Server.Metrics()).
+	ServeMetrics = serve.Metrics
+	// MetricsRegistry renders metric families in the Prometheus text
+	// exposition format (WritePrometheus).
+	MetricsRegistry = obs.Registry
+	// Tracer records per-session lifecycle span events into a ring buffer
+	// (ServeConfig.Tracer), optionally teeing them to a JSONL sink.
+	Tracer = obs.Tracer
+	// TraceEvent is one lifecycle span event.
+	TraceEvent = obs.Event
+	// TraceJSONLWriter streams trace events as JSON lines, allocation-free.
+	TraceJSONLWriter = obs.JSONLWriter
+	// ExecSlotStats is the work-stealing executor accounting (tasks run,
+	// steals, busy time) reported fleet-wide in ServeReport.Exec.
+	ExecSlotStats = exec.SlotStats
+)
+
+// NewTracer builds a lifecycle tracer with the given ring capacity; assign
+// it to ServeConfig.Tracer before NewServer.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewTraceJSONLWriter builds a JSONL trace sink over w (schema header
+// included); install with Tracer.SetSink and Flush before reading the file.
+func NewTraceJSONLWriter(w io.Writer) *TraceJSONLWriter { return obs.NewJSONLWriter(w) }
+
+// ParseTrace reads a JSONL serving trace back into events, rejecting schema
+// drift; ValidateTrace checks the result is a consistent serving history.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) { return obs.ParseTrace(r) }
+
+// ValidateTrace checks a trace for timeline consistency: monotonic
+// timestamps, matched preempt/park/resume triples, and finish accounting.
+// allowPartial tolerates sessions truncated by the ring buffer.
+func ValidateTrace(events []TraceEvent, allowPartial bool) error {
+	return obs.ValidateTimeline(events, allowPartial)
 }
 
 // Hardware simulation types.
