@@ -36,10 +36,14 @@ type report struct {
 	// GitSHA stamps the commit the numbers were measured at ("unknown"
 	// outside a git checkout), GOMAXPROCS the parallelism the run actually
 	// had — both required to compare BENCH_decode.json across PRs.
-	GitSHA     string                   `json:"git_sha"`
-	GoMaxProcs int                      `json:"gomaxprocs"`
-	CPUs       int                      `json:"cpus"` // cores visible to the run; pool speedups are bounded by this
-	Results    []bench.DecodeStepResult `json:"results"`
+	GitSHA     string `json:"git_sha"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"` // cores visible to the run; pool speedups are bounded by this
+	// Warning flags records whose parallel arms are not meaningful — set
+	// when the run saw a single CPU, where pool and batching speedups
+	// honestly measure pure overhead (~1.0x) rather than the win.
+	Warning string                   `json:"warning,omitempty"`
+	Results []bench.DecodeStepResult `json:"results"`
 	// Speedup maps "kernel/ctx=N" to scratch-ns / incremental-ns for the
 	// quantizing kernels (the measured win of the incremental cache) and
 	// "kernel/heads=H/ctx=N/pool=W" to serial-ns / pool-ns (the measured
@@ -48,6 +52,9 @@ type report struct {
 	// Serving is the shared-prefix serving arm: prefix-cache hit rate,
 	// TTFT with sharing on/off, and the prefill compute saved.
 	Serving *servingRecord `json:"serving,omitempty"`
+	// Batching is the high-concurrency iteration-batching arm: per-session
+	// worker dispatch vs cross-session token batching over the same fleet.
+	Batching *batchingRecord `json:"iteration_batching,omitempty"`
 }
 
 // servingRecord persists the shared-prefix serving comparison.
@@ -63,6 +70,21 @@ type servingRecord struct {
 	PromptToksUnshared int64   `json:"prefill_tokens_unshared"`
 	PrefillSavings     float64 `json:"prefill_savings"`
 	TokensMatch        bool    `json:"tokens_match"`
+}
+
+// batchingRecord persists the iteration-batching serving comparison.
+type batchingRecord struct {
+	Sessions        int     `json:"sessions"`
+	MaxBatchTokens  int     `json:"max_batch_tokens"`
+	WorkerTokSec    float64 `json:"worker_tokens_per_sec"`
+	BatchedTokSec   float64 `json:"batched_tokens_per_sec"`
+	WorkerTTFT50Ms  float64 `json:"worker_ttft_p50_ms"`
+	WorkerTTFT95Ms  float64 `json:"worker_ttft_p95_ms"`
+	BatchedTTFT50Ms float64 `json:"batched_ttft_p50_ms"`
+	BatchedTTFT95Ms float64 `json:"batched_ttft_p95_ms"`
+	Occupancy       float64 `json:"batch_occupancy_rows"`
+	Iterations      int64   `json:"batch_iterations"`
+	TokensMatch     bool    `json:"tokens_match"`
 }
 
 func parseInts(s, flagName string) []int {
@@ -124,6 +146,11 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		CPUs:       runtime.NumCPU(),
 		Speedup:    map[string]float64{},
+	}
+	if rep.CPUs == 1 {
+		rep.Warning = "single-CPU run: pool-executor and iteration-batching " +
+			"speedups measure scheduling overhead, not parallel gain"
+		fmt.Fprintf(os.Stderr, "topick-bench: warning: %s\n", rep.Warning)
 	}
 
 	// Arm 1: incremental vs from-scratch quantization (serial executor).
@@ -202,6 +229,29 @@ func main() {
 		}
 		fmt.Printf("serving: prefix hit rate %.0f%%, prefill %.1fx less, TTFT %.1fx lower, tokens match %v\n",
 			100*res.HitRate, res.PrefillSavings(), res.TTFTReduction(), res.TokensMatch)
+	}
+
+	// Arm 4: iteration-level batching — the same high-concurrency
+	// mixed-length fleet through per-session workers and through
+	// cross-session token batching; the two must emit identical tokens.
+	if *serving {
+		fmt.Println("iteration-batching arm: running fleet twice...")
+		res := bench.CompareIterationBatching(train.TestModel(), bench.DefaultBatchingOptions())
+		rep.Batching = &batchingRecord{
+			Sessions:        res.Sessions,
+			MaxBatchTokens:  bench.DefaultBatchingOptions().MaxBatchTokens,
+			WorkerTokSec:    res.WorkerTokSec,
+			BatchedTokSec:   res.BatchedTokSec,
+			WorkerTTFT50Ms:  res.WorkerTTFT50 * 1e3,
+			WorkerTTFT95Ms:  res.WorkerTTFT95 * 1e3,
+			BatchedTTFT50Ms: res.BatchedTTFT50 * 1e3,
+			BatchedTTFT95Ms: res.BatchedTTFT95 * 1e3,
+			Occupancy:       res.Occupancy,
+			Iterations:      res.Iterations,
+			TokensMatch:     res.TokensMatch,
+		}
+		fmt.Printf("batching: %.1f vs %.1f tok/s, occupancy %.1f rows over %d iterations, tokens match %v\n",
+			res.WorkerTokSec, res.BatchedTokSec, res.Occupancy, res.Iterations, res.TokensMatch)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -59,6 +59,7 @@ func main() {
 		blockRows = flag.Int("block-rows", 32, "KV pool block granularity (rows)")
 		parallel  = flag.Int("parallel", 1, "per-worker head parallelism (executor slots; 0 = NumCPU)")
 		quantum   = flag.Int("quantum", 1, "generation steps per scheduling quantum")
+		maxBatch  = flag.Int("max-batch-tokens", 0, "iteration-level batching: token rows co-scheduled per iteration across sessions (0 = per-session workers)")
 		temp      = flag.Float64("temperature", 0, "sampling temperature (0 = greedy)")
 		deadline  = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
 		compare   = flag.Bool("compare", false, "also run the serialized baseline")
@@ -117,16 +118,17 @@ func main() {
 		cfg.Name, cfg.Layers, cfg.Heads, cfg.HeadDim, cfg.MaxSeq)
 
 	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
-		Workers:      *workers,
-		Quantum:      *quantum,
-		BlockRows:    *blockRows,
-		MaxBlocks:    *maxBlocks,
-		SharePrefix:  *share,
-		MaxPreempts:  *preempts,
-		HeadParallel: tokenpicker.ResolveParallel(*parallel),
-		Tracer:       tracer,
-		Detokenize:   detok,
-		NewKernel:    func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
+		Workers:        *workers,
+		Quantum:        *quantum,
+		MaxBatchTokens: *maxBatch,
+		BlockRows:      *blockRows,
+		MaxBlocks:      *maxBlocks,
+		SharePrefix:    *share,
+		MaxPreempts:    *preempts,
+		HeadParallel:   tokenpicker.ResolveParallel(*parallel),
+		Tracer:         tracer,
+		Detokenize:     detok,
+		NewKernel:      func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
 	})
 
 	if *listen != "" {

@@ -6,13 +6,16 @@
 // off-chip traffic it would have generated so perplexity and memory-access
 // numbers come from the same code path.
 //
-// Kernels receive whole layers (model.AttendBatch) and schedule the heads
-// on the batch's executor. All mutable per-call state — quantization
+// Kernels receive whole layers (model.AttendBatch) — one or many query rows,
+// each row one (sequence, position) instance — and schedule the rows×heads
+// tasks on the batch's executor. All mutable per-call state — quantization
 // scratch, estimator scratch, transfer statistics — lives in per-slot
-// shards, so heads running concurrently never share memory; statistics are
-// merged across shards when read. Head outputs are computed independently
-// with no cross-head reduction, so pool execution is bit-identical to
-// serial.
+// shards, so tasks running concurrently never share memory; statistics are
+// merged across shards when read. Task outputs are computed independently
+// with no cross-task reduction, so pool execution is bit-identical to
+// serial, and multi-row batches may mix rows from different sessions (the
+// iteration-batched serving path): these kernels keep no per-sequence state
+// beyond the cache-owned quantization side-cars.
 package attention
 
 import (
@@ -78,6 +81,23 @@ func (s *Stats) TotalReduction() float64 {
 		return math.Inf(1)
 	}
 	return float64(s.BaselineKBytes+s.BaselineVBytes) / float64(moved)
+}
+
+// growScratch returns scratch with at least n elements, padding capacity to
+// the next power of two (min 64) so per-step context growth reallocates
+// O(log n) times instead of every decode step.
+func growScratch(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	c := cap(buf)
+	if c < 64 {
+		c = 64
+	}
+	for c < n {
+		c *= 2
+	}
+	return make([]float32, c)[:n]
 }
 
 // quantScratch holds one slot's quantization state shared by every kernel
@@ -147,7 +167,7 @@ type tpRunner struct {
 }
 
 // Do implements exec.Tasks.
-func (r *tpRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
+func (r *tpRunner) Do(t, slot int) { r.k.attendTask(&r.b, t, slot) }
 
 // NewTokenPicker builds the kernel at the given pruning threshold with the
 // paper's defaults.
@@ -199,19 +219,16 @@ func (k *TokenPicker) AttendLayer(batch model.AttendBatch) {
 	batch.Run(&k.runner)
 }
 
-func (k *TokenPicker) attendHead(b *model.AttendBatch, h, slot int) {
+func (k *TokenPicker) attendTask(b *model.AttendBatch, t, slot int) {
 	s := &k.slots[slot]
-	q, out := b.HeadQ(h), b.HeadOut(h)
-	keys, vals := b.Keys[h], b.Vals[h]
-	n, dim := b.N, b.HeadDim
-	slope := b.Slopes[h]
+	q, out := b.TaskQ(t), b.TaskOut(t)
+	keys, vals := b.Keys[t], b.Vals[t]
+	n, dim := b.TaskN(t), b.HeadDim
+	slope := b.TaskSlope(t)
 	cspec := s.est.Config().Chunks
 	kRows, kPlanes, kScale := s.qs.chunkedKeys(keys, n, dim, cspec)
 	qq := s.qs.query(q, k.Bits)
-	if cap(s.qs.bias) < n {
-		s.qs.bias = make([]float32, n)
-	}
-	s.qs.bias = s.qs.bias[:n]
+	s.qs.bias = growScratch(s.qs.bias, n)
 	for i := 0; i < n; i++ {
 		s.qs.bias[i] = -slope * float32(n-1-i)
 	}
@@ -286,7 +303,7 @@ type qeRunner struct {
 }
 
 // Do implements exec.Tasks.
-func (r *qeRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
+func (r *qeRunner) Do(t, slot int) { r.k.attendTask(&r.b, t, slot) }
 
 // NewQuantizedExact returns the 12-bit exact kernel.
 func NewQuantizedExact() *QuantizedExact { return &QuantizedExact{Bits: 12} }
@@ -318,18 +335,16 @@ func (k *QuantizedExact) AttendLayer(batch model.AttendBatch) {
 	batch.Run(&k.runner)
 }
 
-func (k *QuantizedExact) attendHead(b *model.AttendBatch, h, slot int) {
+func (k *QuantizedExact) attendTask(b *model.AttendBatch, t, slot int) {
 	s := &k.slots[slot]
-	q, out := b.HeadQ(h), b.HeadOut(h)
-	keys, vals := b.Keys[h], b.Vals[h]
-	n, dim := b.N, b.HeadDim
-	slope := b.Slopes[h]
-	if cap(s.scores) < n {
-		s.scores = make([]float32, n)
-		s.probs = make([]float32, n)
-	}
-	scores := s.scores[:n]
-	probs := s.probs[:n]
+	q, out := b.TaskQ(t), b.TaskOut(t)
+	keys, vals := b.Keys[t], b.Vals[t]
+	n, dim := b.TaskN(t), b.HeadDim
+	slope := b.TaskSlope(t)
+	s.scores = growScratch(s.scores, n)
+	s.probs = growScratch(s.probs, n)
+	scores := s.scores
+	probs := s.probs
 	kRows, kScale := s.qs.keys(keys, n, dim, k.Bits)
 	vRows, vScale := s.qs.values(vals, n, dim, k.Bits)
 	qq := s.qs.query(q, k.Bits)
@@ -383,7 +398,7 @@ type orRunner struct {
 }
 
 // Do implements exec.Tasks.
-func (r *orRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
+func (r *orRunner) Do(t, slot int) { r.k.attendTask(&r.b, t, slot) }
 
 // NewOracle returns an oracle pruning kernel.
 func NewOracle(threshold float64) *Oracle { return &Oracle{Threshold: threshold, Bits: 12} }
@@ -414,18 +429,16 @@ func (k *Oracle) AttendLayer(batch model.AttendBatch) {
 	batch.Run(&k.runner)
 }
 
-func (k *Oracle) attendHead(b *model.AttendBatch, h, slot int) {
+func (k *Oracle) attendTask(b *model.AttendBatch, t, slot int) {
 	s := &k.slots[slot]
-	q, out := b.HeadQ(h), b.HeadOut(h)
-	keys, vals := b.Keys[h], b.Vals[h]
-	n, dim := b.N, b.HeadDim
-	slope := b.Slopes[h]
-	if cap(s.scores) < n {
-		s.scores = make([]float32, n)
-		s.probs = make([]float32, n)
-	}
-	scores := s.scores[:n]
-	probs := s.probs[:n]
+	q, out := b.TaskQ(t), b.TaskOut(t)
+	keys, vals := b.Keys[t], b.Vals[t]
+	n, dim := b.TaskN(t), b.HeadDim
+	slope := b.TaskSlope(t)
+	s.scores = growScratch(s.scores, n)
+	s.probs = growScratch(s.probs, n)
+	scores := s.scores
+	probs := s.probs
 	kRows, kScale := s.qs.keys(keys, n, dim, k.Bits)
 	vRows, vScale := s.qs.values(vals, n, dim, k.Bits)
 	qq := s.qs.query(q, k.Bits)

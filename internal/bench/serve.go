@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"tokenpicker/internal/attention"
@@ -184,5 +185,173 @@ func ServingTable(res ServingResult) *Table {
 	t.AddNote("eager allocation would back %d rows; pool backed %d (%.1fx less)",
 		res.EagerRows, res.Report.Pool.AllocatedRows(),
 		float64(res.EagerRows)/float64(res.Report.Pool.AllocatedRows()))
+	return t
+}
+
+// BatchingOptions sizes the high-concurrency iteration-batching comparison:
+// the same mixed-length fleet decoded twice through the serving engine, once
+// with per-session worker dispatch and once with iteration-level batching.
+type BatchingOptions struct {
+	Sessions       int // concurrent requests; >= 16 exercises real batch shapes
+	PromptLen      int // shortest prompt; session i adds i*Stride tokens
+	Stride         int
+	MaxNew         int     // tokens generated per session
+	Workers        int     // worker count; batch mode uses one Workers-wide executor
+	BlockRows      int     // KV pool granularity
+	PromptChunk    int     // prefill chunk, both modes
+	MaxBatchTokens int     // iteration token-row budget of the batched arm
+	Threshold      float64 // Token-Picker pruning threshold
+}
+
+// DefaultBatchingOptions is the profile persisted to BENCH_decode.json.
+func DefaultBatchingOptions() BatchingOptions {
+	return BatchingOptions{
+		Sessions:       16,
+		PromptLen:      16,
+		Stride:         7,
+		MaxNew:         32,
+		Workers:        4,
+		BlockRows:      32,
+		PromptChunk:    16,
+		MaxBatchTokens: 48,
+		Threshold:      1e-3,
+	}
+}
+
+// BatchingResult is the outcome of one iteration-batching comparison. The
+// structural quantity is Occupancy — mean token rows co-scheduled per
+// iteration, the weight-streaming amortization factor — while tokens/s only
+// separates the modes when cores are available (on one core both move the
+// same FLOPs and the batched arm pays a small assembly tax).
+type BatchingResult struct {
+	Sessions      int
+	TotalTokens   int64   // generated tokens per arm
+	WorkerSec     float64 // wall clock, per-session worker dispatch
+	BatchedSec    float64 // wall clock, iteration batching
+	WorkerTokSec  float64
+	BatchedTokSec float64
+	WorkerTTFT50  float64 // TTFT quantiles (seconds) from the metrics digests
+	WorkerTTFT95  float64
+	BatchedTTFT50 float64
+	BatchedTTFT95 float64
+	Occupancy     float64 // mean token rows per batched iteration
+	Iterations    int64   // batched iterations executed
+	TokensMatch   bool    // batched tokens bit-identical to worker-mode tokens
+	BatchedReport serve.Report
+}
+
+// runServingArm decodes prompts through one server config and returns the
+// emitted token streams plus the timing quantities shared by both arms.
+func runServingArm(r *train.Result, cfg serve.Config, prompts [][]int, maxNew int) (
+	toks [][]int, wall float64, ttft50, ttft95 float64, rep serve.Report, met *serve.Metrics) {
+	srv := serve.NewServer(r.Params, cfg)
+	start := time.Now()
+	streams := make([]*serve.Stream, len(prompts))
+	for i, p := range prompts {
+		st, err := srv.Submit(context.Background(), serve.GenerateRequest{Prompt: p, MaxTokens: maxNew})
+		if err != nil {
+			panic(fmt.Sprintf("bench: submit: %v", err))
+		}
+		streams[i] = st
+	}
+	toks = make([][]int, len(prompts))
+	var wg sync.WaitGroup
+	for i, st := range streams {
+		wg.Add(1)
+		go func(i int, st *serve.Stream) {
+			defer wg.Done()
+			for ev := range st.Events() {
+				toks[i] = append(toks[i], ev.Token)
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	wall = time.Since(start).Seconds()
+	met = srv.Metrics()
+	ttft50 = met.TTFT.Quantile(0.5)
+	ttft95 = met.TTFT.Quantile(0.95)
+	srv.Close()
+	rep = srv.Report()
+	return toks, wall, ttft50, ttft95, rep, met
+}
+
+// CompareIterationBatching decodes the same high-concurrency mixed-length
+// fleet twice — per-session worker dispatch, then iteration-level batching
+// (Config.MaxBatchTokens > 0) — and reports throughput, TTFT p50/p95, the
+// batched arm's occupancy, and whether the two modes emitted identical
+// tokens (they must: batching changes scheduling, never results).
+func CompareIterationBatching(r *train.Result, o BatchingOptions) BatchingResult {
+	prompts := servingPrompts(r, ServingOptions{
+		Sessions: o.Sessions, PromptLen: o.PromptLen, Stride: o.Stride,
+	})
+	newKernel := func() model.Kernel { return attention.NewTokenPicker(o.Threshold) }
+
+	workerToks, workerSec, w50, w95, _, _ := runServingArm(r, serve.Config{
+		Workers:     o.Workers,
+		BlockRows:   o.BlockRows,
+		PromptChunk: o.PromptChunk,
+		SharePrefix: true,
+		NewKernel:   newKernel,
+	}, prompts, o.MaxNew)
+
+	batchToks, batchSec, b50, b95, rep, met := runServingArm(r, serve.Config{
+		Workers:        o.Workers,
+		BlockRows:      o.BlockRows,
+		PromptChunk:    o.PromptChunk,
+		MaxBatchTokens: o.MaxBatchTokens,
+		SharePrefix:    true,
+		NewKernel:      newKernel,
+	}, prompts, o.MaxNew)
+
+	match := len(workerToks) == len(batchToks)
+	var total int64
+	for i := range workerToks {
+		if !match {
+			break
+		}
+		if len(workerToks[i]) != len(batchToks[i]) {
+			match = false
+			break
+		}
+		for j := range workerToks[i] {
+			if workerToks[i][j] != batchToks[i][j] {
+				match = false
+				break
+			}
+		}
+		total += int64(len(batchToks[i]))
+	}
+	return BatchingResult{
+		Sessions:      o.Sessions,
+		TotalTokens:   total,
+		WorkerSec:     workerSec,
+		BatchedSec:    batchSec,
+		WorkerTokSec:  float64(total) / workerSec,
+		BatchedTokSec: float64(total) / batchSec,
+		WorkerTTFT50:  w50,
+		WorkerTTFT95:  w95,
+		BatchedTTFT50: b50,
+		BatchedTTFT95: b95,
+		Occupancy:     met.BatchRows.Mean(),
+		Iterations:    met.BatchIterations.Value(),
+		TokensMatch:   match,
+		BatchedReport: rep,
+	}
+}
+
+// BatchingTable renders the iteration-batching comparison.
+func BatchingTable(res BatchingResult) *Table {
+	t := &Table{
+		Title:  "Serving: per-session workers vs iteration-level batching",
+		Header: []string{"mode", "wall (s)", "tokens/s", "TTFT p50 (s)", "TTFT p95 (s)"},
+	}
+	t.AddRow("per-session", fmt.Sprintf("%.3f", res.WorkerSec),
+		fmt.Sprintf("%.1f", res.WorkerTokSec),
+		fmt.Sprintf("%.4f", res.WorkerTTFT50), fmt.Sprintf("%.4f", res.WorkerTTFT95))
+	t.AddRow("iteration-batched", fmt.Sprintf("%.3f", res.BatchedSec),
+		fmt.Sprintf("%.1f", res.BatchedTokSec),
+		fmt.Sprintf("%.4f", res.BatchedTTFT50), fmt.Sprintf("%.4f", res.BatchedTTFT95))
+	t.AddNote("%d sessions, %d tokens; %d iterations at %.1f rows mean occupancy; tokens match: %v",
+		res.Sessions, res.TotalTokens, res.Iterations, res.Occupancy, res.TokensMatch)
 	return t
 }

@@ -48,3 +48,29 @@ func BenchmarkServing(b *testing.B) {
 		b.ReportMetric(res.Report.Attn.PruningRatio(), "pruning-ratio")
 	}
 }
+
+func TestCompareIterationBatching(t *testing.T) {
+	o := DefaultBatchingOptions()
+	o.Sessions = 8
+	o.MaxNew = 12
+	r := train.TestModel()
+	res := CompareIterationBatching(r, o)
+	if !res.TokensMatch {
+		t.Fatal("iteration batching changed emitted tokens")
+	}
+	if res.TotalTokens != int64(o.Sessions*o.MaxNew) {
+		t.Fatalf("generated %d tokens, want %d", res.TotalTokens, o.Sessions*o.MaxNew)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("batched arm recorded no iterations")
+	}
+	// Mixed decode traffic must actually co-schedule rows: mean occupancy of
+	// 1 would mean the batched arm degenerated to per-session stepping.
+	if res.Occupancy <= 1 {
+		t.Fatalf("mean batch occupancy %.2f rows; expected cross-session batching", res.Occupancy)
+	}
+	if res.BatchedReport.Completed() != int64(o.Sessions) {
+		t.Fatalf("completed %d of %d sessions", res.BatchedReport.Completed(), o.Sessions)
+	}
+	_ = BatchingTable(res).String()
+}

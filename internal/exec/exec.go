@@ -1,12 +1,14 @@
 // Package exec provides the intra-step execution strategies behind the
-// decoder's per-layer attention batches. A model.Kernel receives all heads
-// of one layer at once (model.AttendBatch) and schedules them on an
-// Executor: Serial runs heads inline (the reference order), Pool fans them
-// out over persistent workers with work-stealing, so a single decode step
-// uses every core the host offers instead of walking heads one at a time.
+// decoder's per-layer attention batches. A model.Kernel receives one
+// layer's whole batch at once (model.AttendBatch) — all heads of a single
+// session's step, or rows × heads when the serving engine batches token
+// rows across sessions — and schedules the tasks on an Executor: Serial
+// runs them inline (the reference order), Pool fans them out over
+// persistent workers with work-stealing, so a single iteration uses every
+// core the host offers instead of walking (row, head) pairs one at a time.
 //
 // The contract that keeps parallel execution bit-identical to serial: tasks
-// are independent (head h only writes head h's output slice and slot-private
+// are independent (task t only writes its own output slice and slot-private
 // scratch), so the schedule cannot reorder any floating-point reduction.
 // Cross-head state (SpAtten's importance table, transfer statistics) is
 // sharded per slot and merged deterministically by the kernel, never inside

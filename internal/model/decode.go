@@ -15,36 +15,81 @@ import (
 // instead of crashing a worker.
 var ErrContextFull = errors.New("model: context full")
 
-// AttendBatch is one layer's attention work: every head's query/output slice
-// plus its KV row sources, with the metadata the heads share. Heads are
-// independent — head h reads HeadQ(h)/Keys[h]/Vals[h] and writes HeadOut(h)
-// only — so a kernel may run them in any order or in parallel on Exec
-// without changing a single output bit.
+// AttendBatch is one batched slab of attention work for a single layer: one
+// or more query rows, each carrying every head's query/output slice plus its
+// own KV row sources and context length. A row is one (sequence, position)
+// attention instance — the single-row case is a classic decode step; the
+// multi-row case is the iteration-batched serving path, where the rows span
+// all runnable sessions (decode rows) and the in-flight prefill chunks of
+// pending prompts, so one kernel call amortizes attention work across the
+// whole fleet.
+//
+// Tasks are (row, head) pairs, indexed row-major: task t = row*Heads + head.
+// Tasks are independent — task t reads TaskQ(t)/Keys[t]/Vals[t] and writes
+// TaskOut(t) only — so a kernel may run them in any order or in parallel on
+// Exec without changing a single output bit.
 type AttendBatch struct {
-	Layer   int // layer index (kernels with per-layer state key on it)
-	N       int // valid context rows; the query is position N-1
+	Layer   int   // layer index (kernels with per-layer state key on it)
+	N       int   // single-row batches: valid context rows; the query is position N-1
+	Rows    int   // query rows; 0 or 1 means single-row (N applies to every task)
+	Ns      []int // multi-row batches: per-row context length (len == Rows)
 	Heads   int
 	HeadDim int
 	Scale   float32   // score scale, 1/sqrt(HeadDim)
-	Slopes  []float32 // per-head ALiBi slope: raw score_i -= Slopes[h]*(N-1-i)
-	// Q and Out are packed head-major: head h owns [h*HeadDim, (h+1)*HeadDim).
+	Slopes  []float32 // per-head ALiBi slope: raw score_i -= Slopes[h]*(n-1-i)
+	// Q and Out are packed (row, head)-major: task t owns
+	// [t*HeadDim, (t+1)*HeadDim) — for a single-row batch that degenerates
+	// to the head-major layout of one decode step.
 	Q, Out []float32
-	// Keys and Vals hold each head's KV cache view; rows beyond N are stale.
+	// Keys and Vals hold each task's KV cache view, indexed row*Heads+head;
+	// rows beyond the task's context length are stale. Single-row batches
+	// index them by head, which is the same thing.
 	Keys, Vals []tensor.RowSource
-	// Exec schedules the heads; nil means serial. Kernels must route every
-	// head through Run so the executor choice is honoured.
+	// Exec schedules the tasks; nil means serial. Kernels must route every
+	// task through Run so the executor choice is honoured.
 	Exec exec.Executor
 }
 
-// HeadQ returns head h's query slice.
-func (b *AttendBatch) HeadQ(h int) []float32 {
-	return b.Q[h*b.HeadDim : (h+1)*b.HeadDim]
+// NumRows returns the number of query rows (>= 1; the zero value of Rows
+// means the legacy single-row layout).
+func (b *AttendBatch) NumRows() int {
+	if b.Rows <= 0 {
+		return 1
+	}
+	return b.Rows
 }
 
-// HeadOut returns head h's output slice.
-func (b *AttendBatch) HeadOut(h int) []float32 {
-	return b.Out[h*b.HeadDim : (h+1)*b.HeadDim]
+// NumTasks returns the number of independent (row, head) attention tasks.
+func (b *AttendBatch) NumTasks() int { return b.NumRows() * b.Heads }
+
+// TaskN returns the context length of task t's row: attention spans rows
+// [0, TaskN(t)) of Keys[t]/Vals[t] and the query sits at position TaskN(t)-1.
+func (b *AttendBatch) TaskN(t int) int {
+	if b.Ns == nil {
+		return b.N
+	}
+	return b.Ns[t/b.Heads]
 }
+
+// TaskSlope returns task t's ALiBi slope (slopes are per head, shared by
+// every row).
+func (b *AttendBatch) TaskSlope(t int) float32 { return b.Slopes[t%b.Heads] }
+
+// TaskQ returns task t's query slice.
+func (b *AttendBatch) TaskQ(t int) []float32 {
+	return b.Q[t*b.HeadDim : (t+1)*b.HeadDim]
+}
+
+// TaskOut returns task t's output slice.
+func (b *AttendBatch) TaskOut(t int) []float32 {
+	return b.Out[t*b.HeadDim : (t+1)*b.HeadDim]
+}
+
+// HeadQ returns head h's query slice of a single-row batch.
+func (b *AttendBatch) HeadQ(h int) []float32 { return b.TaskQ(h) }
+
+// HeadOut returns head h's output slice of a single-row batch.
+func (b *AttendBatch) HeadOut(h int) []float32 { return b.TaskOut(h) }
 
 // Width returns the number of scratch slots the batch's executor may use.
 func (b *AttendBatch) Width() int {
@@ -54,24 +99,29 @@ func (b *AttendBatch) Width() int {
 	return b.Exec.Width()
 }
 
-// Run schedules one task per head on the batch's executor.
+// Run schedules one task per (row, head) pair on the batch's executor; the
+// work-stealing pool spreads rows×heads over its slots, so wide multi-row
+// batches keep every core busy even on few-head models.
 func (b *AttendBatch) Run(tasks exec.Tasks) {
 	if b.Exec == nil {
-		exec.Serial{}.Run(b.Heads, tasks)
+		exec.Serial{}.Run(b.NumTasks(), tasks)
 		return
 	}
-	b.Exec.Run(b.Heads, tasks)
+	b.Exec.Run(b.NumTasks(), tasks)
 }
 
-// Kernel computes one layer's attention for a single decode query.
+// Kernel computes one layer's attention for a batch of query rows.
 // Implementations range from exact softmax to the Token-Picker estimator.
 //
 // AttendLayer receives the whole layer as a batch and must produce, for each
-// head, exactly the output a head-at-a-time serial evaluation would: per-head
-// work goes through batch.Run so the configured executor can spread heads
-// over cores, per-slot scratch keeps concurrent heads from sharing mutable
-// state, and any cross-head accumulation (statistics, SpAtten importance)
-// is sharded per slot or merged in deterministic head order.
+// (row, head) task, exactly the output a task-at-a-time serial evaluation
+// would: per-task work goes through batch.Run so the configured executor can
+// spread rows×heads over cores, per-slot scratch keeps concurrent tasks from
+// sharing mutable state, and any cross-task accumulation (statistics,
+// SpAtten importance) is sharded per slot or merged in deterministic task
+// order. Multi-row batches may mix rows from different sequences (the
+// iteration-batched serving path does), so kernels eligible for serving must
+// not keep per-sequence state across calls beyond cache-owned side-cars.
 type Kernel interface {
 	AttendLayer(batch AttendBatch)
 }
@@ -114,7 +164,7 @@ type exactRunner struct {
 }
 
 // Do implements exec.Tasks.
-func (r *exactRunner) Do(h, slot int) { r.k.attendHead(&r.b, h, slot) }
+func (r *exactRunner) Do(t, slot int) { r.k.attendTask(&r.b, t, slot) }
 
 // AttendLayer implements Kernel with exact float32 softmax attention.
 func (k *ExactKernel) AttendLayer(batch AttendBatch) {
@@ -126,18 +176,34 @@ func (k *ExactKernel) AttendLayer(batch AttendBatch) {
 	batch.Run(&k.runner)
 }
 
-func (k *ExactKernel) attendHead(b *AttendBatch, h, slot int) {
-	s := &k.slots[slot]
-	n := b.N
-	if cap(s.scores) < n {
-		s.scores = make([]float32, n)
-		s.probs = make([]float32, n)
+// growScratch returns scratch with at least n elements, padding capacity to
+// the next power of two (min 64) so a context growing one row per decode
+// step reallocates O(log n) times instead of every step — the batched
+// steady-state alloc guard counts on this.
+func growScratch(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
 	}
+	c := cap(buf)
+	if c < 64 {
+		c = 64
+	}
+	for c < n {
+		c *= 2
+	}
+	return make([]float32, c)[:n]
+}
+
+func (k *ExactKernel) attendTask(b *AttendBatch, t, slot int) {
+	s := &k.slots[slot]
+	n := b.TaskN(t)
+	s.scores = growScratch(s.scores, n)
+	s.probs = growScratch(s.probs, n)
 	scores := s.scores[:n]
 	probs := s.probs[:n]
-	q, out := b.HeadQ(h), b.HeadOut(h)
-	keys, vals := b.Keys[h], b.Vals[h]
-	slope := b.Slopes[h]
+	q, out := b.TaskQ(t), b.TaskOut(t)
+	keys, vals := b.Keys[t], b.Vals[t]
+	slope := b.TaskSlope(t)
 	for i := 0; i < n; i++ {
 		scores[i] = b.Scale*tensor.Dot(q, keys.Row(i)[:len(q)]) - slope*float32(n-1-i)
 	}
@@ -444,6 +510,24 @@ func (dec *Decoder) MustPrompt(tokens []int) []float32 {
 	return logits
 }
 
+// ensureRows acquires storage for rows [0, n) in every KV cache before any
+// state is touched, so a failed acquisition leaves the decoder consistent
+// and retryable (over-extended caches are harmless: validity is bounded by
+// dec.n).
+func (dec *Decoder) ensureRows(n int) error {
+	for _, layer := range dec.caches {
+		for _, c := range layer {
+			if err := c.K.EnsureLen(n); err != nil {
+				return err
+			}
+			if err := c.V.EnsureLen(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (dec *Decoder) step(token int, kernel Kernel) ([]float32, error) {
 	cfg := dec.P.Cfg
 	if token < 0 || token >= cfg.VocabSize {
@@ -453,18 +537,8 @@ func (dec *Decoder) step(token int, kernel Kernel) ([]float32, error) {
 		return nil, fmt.Errorf("%w: %d tokens (max %d)", ErrContextFull, dec.n, cfg.MaxSeq)
 	}
 	pos := dec.n
-	// Acquire row pos in every cache before touching any state, so a
-	// failed acquisition leaves the decoder consistent and retryable
-	// (over-extended caches are harmless: validity is bounded by dec.n).
-	for _, layer := range dec.caches {
-		for _, c := range layer {
-			if err := c.K.EnsureLen(pos + 1); err != nil {
-				return nil, err
-			}
-			if err := c.V.EnsureLen(pos + 1); err != nil {
-				return nil, err
-			}
-		}
+	if err := dec.ensureRows(pos + 1); err != nil {
+		return nil, err
 	}
 	hd := cfg.HeadDim
 	scale := float32(1 / math.Sqrt(float64(hd)))

@@ -100,7 +100,7 @@ type Event struct {
 	Step    int32 // tokens emitted so far
 	Tokens  int32 // kind-specific payload (chunk size, adopted rows, ...)
 	Rows    int32 // session context rows (KV length) at the event
-	Batch   int32 // sessions inside a dispatch quantum right now
+	Batch   int32 // sessions mid-dispatch: workers' quanta, or the iteration's batch size
 	Queue   int32 // run-queue depth
 	Stalled int32 // parked (preempted) sessions
 	InUse   int32 // KV pool blocks referenced

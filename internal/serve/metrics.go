@@ -39,12 +39,29 @@ type Metrics struct {
 	LadderSelf   *obs.Counter
 	LadderReject *obs.Counter
 
-	// Latency histograms (seconds).
+	// Latency histograms (seconds). PrefillChunk and DecodeStep time
+	// individual per-session dispatches and so are fed only by the worker
+	// path; under iteration batching the per-step cost is shared by the
+	// whole batch and BatchIteration is the meaningful latency.
 	TTFT         *obs.Histogram // Submit → first emitted token
 	InterToken   *obs.Histogram // gap between consecutive emissions
 	QueueWait    *obs.Histogram // Submit → first dispatch quantum
 	PrefillChunk *obs.Histogram // one prompt-chunk prefill
 	DecodeStep   *obs.Histogram // one generation (or replay) step
+
+	// Batch-shape families, fed only under iteration batching
+	// (Config.MaxBatchTokens > 0). BatchRows observes the token rows each
+	// iteration actually advanced (entries that failed their block lease are
+	// excluded, so these reconcile exactly with the usage counters) — its
+	// Mean() is the average batch occupancy, also exported as the
+	// topick_batch_occupancy_rows gauge — while the row counters split the
+	// same totals by phase, so
+	// batch_decode_rows + batch_prefill_rows == sum(batch_rows).
+	BatchIterations  *obs.Counter   // batched iterations executed
+	BatchDecodeRows  *obs.Counter   // decode+replay rows across iterations
+	BatchPrefillRows *obs.Counter   // prefill rows across iterations
+	BatchRows        *obs.Histogram // rows per iteration (occupancy)
+	BatchIteration   *obs.Histogram // wall seconds per batched iteration
 }
 
 // finishReasons is the fixed label set of the finished-sessions family.
@@ -90,11 +107,27 @@ func newMetrics(s *Server) *Metrics {
 		QueueWait:    reg.Histogram("topick_queue_wait_seconds", "Time from Submit to the first dispatch quantum.", "", nil),
 		PrefillChunk: reg.Histogram("topick_prefill_chunk_seconds", "Wall time of one prompt-chunk prefill.", "", nil),
 		DecodeStep:   reg.Histogram("topick_decode_step_seconds", "Wall time of one generation or replay step.", "", nil),
+
+		BatchIterations:  reg.Counter("topick_batch_iterations_total", "Batched iterations executed (iteration-level scheduling only).", ""),
+		BatchDecodeRows:  reg.Counter("topick_batch_rows_total", "Token rows advanced by batched iterations, by phase.", `phase="decode"`),
+		BatchPrefillRows: reg.Counter("topick_batch_rows_total", "Token rows advanced by batched iterations, by phase.", `phase="prefill"`),
+		BatchRows: reg.Histogram("topick_batch_rows", "Token rows per batched iteration (batch occupancy).",
+			"", []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256}),
+		BatchIteration: reg.Histogram("topick_batch_iteration_seconds", "Wall time of one batched iteration.", "", nil),
 	}
 	for _, r := range finishReasons {
 		m.Finished[r] = reg.Counter("topick_sessions_finished_total",
 			"Finished sessions by terminal reason.", `reason="`+string(r)+`"`)
 	}
+
+	// Average rows per batched iteration at scrape time; 0 until the first
+	// iteration (or always, under per-session dispatch).
+	reg.GaugeFunc("topick_batch_occupancy_rows", "Mean token rows per batched iteration.", "", func() float64 {
+		if m.BatchRows.Count() == 0 {
+			return 0
+		}
+		return m.BatchRows.Mean()
+	})
 
 	// Scheduler and session gauges.
 	reg.GaugeFunc("topick_sessions_active", "Admitted sessions not yet finished.", "", func() float64 {

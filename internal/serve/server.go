@@ -1,17 +1,26 @@
 // Package serve is a continuous-batching inference engine over the
 // Token-Picker decoder. Generation requests are admitted into a run queue
-// and time-sliced across a fixed pool of workers: each dispatch advances one
-// session by a prompt chunk or a few generation steps and then requeues it,
-// so a new request starts decoding immediately instead of waiting for the
-// batch in flight to drain (continuous batching at token granularity).
+// and advanced at token granularity, so a new request starts decoding
+// immediately instead of waiting for the batch in flight to drain. Two
+// dispatch modes share every other subsystem (KV pool, prefix sharing,
+// preemption ladder, metrics, tracing):
 //
-// Each worker owns one attention kernel — kernels carry mutable scratch and
-// are not goroutine-safe — while every session owns a decoder whose KV
-// caches are leased block-by-block from a shared Pool and recycled on
-// completion. Per-session transfer statistics are aggregated fleet-wide, so
-// the server reports the pruning ratio and off-chip-traffic savings of the
-// whole workload, the multi-tenant regime the paper's memory-bound analysis
-// targets.
+//   - Per-session workers (the default): each dispatch advances one session
+//     by a prompt chunk or Quantum generation steps on one of a fixed pool
+//     of worker goroutines, each owning its attention kernel.
+//   - Iteration-level batching (Config.MaxBatchTokens > 0): one scheduler
+//     goroutine assembles, per iteration, a single model.BatchEngine step
+//     spanning all runnable sessions — every decode/replay session one row,
+//     every pending prompt up to PromptChunk prefill rows — so attention
+//     runs as one multi-row AttendBatch per layer and the FFN/projection
+//     stages as row-batched matmuls. Tokens are bit-identical between the
+//     two modes; the batched one amortizes weight traffic across the fleet.
+//
+// Every session owns a decoder whose KV caches are leased block-by-block
+// from a shared Pool and recycled on completion. Per-session transfer
+// statistics are aggregated fleet-wide, so the server reports the pruning
+// ratio and off-chip-traffic savings of the whole workload, the
+// multi-tenant regime the paper's memory-bound analysis targets.
 package serve
 
 import (
@@ -68,8 +77,27 @@ type Config struct {
 	// interleaving, the finest-grained continuous batching).
 	Quantum int
 	// PromptChunk is how many prompt tokens are prefilled per dispatch,
-	// so long prompts cannot starve running generations (default 32).
+	// so long prompts cannot starve running generations (default 32;
+	// negative is rejected by Validate). Under iteration batching
+	// (MaxBatchTokens > 0) it also caps the prefill rows one pending prompt
+	// contributes to a single batched iteration, so the two knobs compose:
+	// MaxBatchTokens bounds the whole iteration's row budget, PromptChunk
+	// bounds any one prompt's share of it.
 	PromptChunk int
+	// MaxBatchTokens, when positive, switches the engine from per-session
+	// dispatch to iteration-level batching: one scheduler goroutine
+	// assembles, every iteration, a single batched step spanning all
+	// runnable sessions — each decode or replay session contributes one
+	// token row, each pending prompt up to PromptChunk prefill rows — and
+	// runs it through a model.BatchEngine, so attention becomes one
+	// multi-row AttendBatch per layer and the FFN/projection stages become
+	// row-batched matmuls. The value is the iteration's token-row budget:
+	// admission into an iteration stops once the next session would exceed
+	// it (the first session is always admitted, so a prompt chunk longer
+	// than the budget still makes progress). Generated tokens are
+	// bit-identical with batching on or off. Zero keeps the per-session
+	// worker loop; negative is rejected by Validate.
+	MaxBatchTokens int
 	// BlockRows is the KV pool block granularity in rows (default 32).
 	BlockRows int
 	// MaxBlocks bounds live pool blocks; 0 = unbounded.
@@ -286,8 +314,15 @@ func (r Report) Completed() int64 {
 	return n
 }
 
-// NewServer builds a server over trained params and starts its workers.
+// NewServer builds a server over trained params and starts its workers (or,
+// with Config.MaxBatchTokens set, its iteration-batching scheduler). The
+// config must be valid: NewServer panics with the *ConfigError describing
+// the offending field otherwise — call Config.Validate first when the
+// values come from outside the program.
 func NewServer(params *model.Params, cfg Config) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -304,6 +339,15 @@ func NewServer(params *model.Params, cfg Config) *Server {
 	s.met = newMetrics(s)
 	// Executors live on the server (not inside the worker goroutines) so the
 	// metrics layer can read their slot accounting at scrape time.
+	if cfg.MaxBatchTokens > 0 {
+		// Iteration batching: one scheduler goroutine owns the whole fleet
+		// and one wide executor spreads each iteration's rows×heads tasks
+		// over the cores the worker pool would otherwise have used.
+		s.execs = []exec.Executor{exec.New(cfg.Workers * cfg.HeadParallel)}
+		s.wg.Add(1)
+		go s.batchLoop()
+		return s
+	}
 	s.execs = make([]exec.Executor, cfg.Workers)
 	for i := range s.execs {
 		s.execs[i] = exec.New(cfg.HeadParallel)
@@ -905,6 +949,46 @@ func (sc *scheduler) stall(sess *session) {
 	sc.cond.Signal() // a worker may be waiting on an empty run queue
 }
 
+// promoteStalledLocked moves one parked session back to the run queue when
+// warranted: a canceled session unconditionally (its result must not wait
+// for pool capacity), else the oldest one — whenever the pool freed up, or
+// nothing else could possibly free it, or we are draining for close.
+// Promotion is independent of queue depth: under sustained load the run
+// queue never empties, and parked sessions must not starve behind it.
+func (sc *scheduler) promoteStalledLocked() {
+	if len(sc.stalled) == 0 {
+		return
+	}
+	idx := -1
+	for i, v := range sc.stalled {
+		if v.ctx != nil && v.ctx.Err() != nil {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 && (sc.closed || (sc.running == 0 && sc.count == 0) ||
+		sc.resumeGate == nil || sc.resumeGate()) {
+		idx = 0
+	}
+	if idx >= 0 {
+		sc.pushLocked(sc.stalled[idx])
+		copy(sc.stalled[idx:], sc.stalled[idx+1:])
+		sc.stalled[len(sc.stalled)-1] = nil
+		sc.stalled = sc.stalled[:len(sc.stalled)-1]
+	}
+}
+
+// popLocked removes the queue's front session and opens its dispatch
+// quantum. Callers hold the lock and have checked count > 0.
+func (sc *scheduler) popLocked() *session {
+	sess := sc.buf[sc.head]
+	sc.buf[sc.head] = nil // release the slot: popped sessions must be collectable
+	sc.head = (sc.head + 1) % len(sc.buf)
+	sc.count--
+	sc.running++
+	return sess
+}
+
 // pop blocks for the next runnable session; ok is false once the scheduler
 // is closed and drained (stalled sessions included). Each successful pop
 // opens a dispatch quantum the worker must close with endRun.
@@ -912,31 +996,7 @@ func (sc *scheduler) pop() (*session, bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	for {
-		if len(sc.stalled) > 0 {
-			// Promote a canceled session unconditionally (its result must
-			// not wait for pool capacity), else the oldest one — whenever
-			// the pool freed up, or nothing else could possibly free it, or
-			// we are draining for close. Promotion is independent of queue
-			// depth: under sustained load the run queue never empties, and
-			// parked sessions must not starve behind it.
-			idx := -1
-			for i, v := range sc.stalled {
-				if v.ctx != nil && v.ctx.Err() != nil {
-					idx = i
-					break
-				}
-			}
-			if idx < 0 && (sc.closed || (sc.running == 0 && sc.count == 0) ||
-				sc.resumeGate == nil || sc.resumeGate()) {
-				idx = 0
-			}
-			if idx >= 0 {
-				sc.pushLocked(sc.stalled[idx])
-				copy(sc.stalled[idx:], sc.stalled[idx+1:])
-				sc.stalled[len(sc.stalled)-1] = nil
-				sc.stalled = sc.stalled[:len(sc.stalled)-1]
-			}
-		}
+		sc.promoteStalledLocked()
 		if sc.count > 0 {
 			break
 		}
@@ -945,20 +1005,59 @@ func (sc *scheduler) pop() (*session, bool) {
 		}
 		sc.cond.Wait()
 	}
-	sess := sc.buf[sc.head]
-	sc.buf[sc.head] = nil // release the slot: popped sessions must be collectable
-	sc.head = (sc.head + 1) % len(sc.buf)
-	sc.count--
-	sc.running++
-	return sess, true
+	return sc.popLocked(), true
+}
+
+// popBatch blocks for at least one runnable session, then drains the run
+// queue in FIFO order into dst until the iteration's token budget is spent:
+// a decode or replay session costs one row, a pending prompt costs its next
+// prefill chunk (at most chunk rows). The first session is admitted
+// regardless of cost so an oversized prompt chunk still makes progress. It
+// returns nil once the scheduler is closed and drained; otherwise each
+// returned session has an open dispatch quantum the caller must close via
+// endRunN(len(batch)).
+func (sc *scheduler) popBatch(dst []*session, budget, chunk int) []*session {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for {
+		sc.promoteStalledLocked()
+		if sc.count > 0 {
+			break
+		}
+		if sc.closed && len(sc.stalled) == 0 {
+			return nil
+		}
+		sc.cond.Wait()
+	}
+	spent := 0
+	for sc.count > 0 {
+		sess := sc.buf[sc.head]
+		cost := 1
+		if rem := len(sess.req.Prompt) - sess.promptPos; rem > 0 {
+			cost = rem
+			if cost > chunk {
+				cost = chunk
+			}
+		}
+		if len(dst) > 0 && spent+cost > budget {
+			break
+		}
+		dst = append(dst, sc.popLocked())
+		spent += cost
+	}
+	return dst
 }
 
 // endRun closes the dispatch quantum opened by pop. When the last running
 // quantum ends, waiting workers re-check the stalled list: with nothing
 // running, a parked session is the only way forward.
-func (sc *scheduler) endRun() {
+func (sc *scheduler) endRun() { sc.endRunN(1) }
+
+// endRunN closes n dispatch quanta at once — the whole iteration of the
+// batching scheduler.
+func (sc *scheduler) endRunN(n int) {
 	sc.mu.Lock()
-	sc.running--
+	sc.running -= n
 	wake := sc.running == 0 && len(sc.stalled) > 0
 	sc.mu.Unlock()
 	if wake {
@@ -1002,6 +1101,12 @@ func (sc *scheduler) steal(maxProgress, maxPreempts int) *session {
 	for i := 0; i < sc.count; i++ {
 		v := sc.buf[(sc.head+i)%len(sc.buf)]
 		if v.preempts >= maxPreempts {
+			continue
+		}
+		if v.parked {
+			// Promoted off the stalled list but not yet dispatched: its
+			// blocks are already released, so preempting it again frees
+			// nothing and would emit a second park with no resume between.
 			continue
 		}
 		p := v.progress()

@@ -164,8 +164,29 @@ func (k *Kernel) ActiveTokens(layer int) []int {
 	return out
 }
 
-// AttendLayer implements model.Kernel.
+// AttendLayer implements model.Kernel. Multi-row batches are processed one
+// row at a time in row order: the cascade's cumulative importance makes the
+// kernel per-sequence stateful, so the rows of a batch must be consecutive
+// positions of the SAME sequence (a chunked prefill), never rows of
+// different sessions — which is also why the serving engine does not accept
+// this kernel. Row-by-row processing reproduces the exact float-addition
+// order of a serial step walk, so batched execution stays bit-identical.
 func (k *Kernel) AttendLayer(batch model.AttendBatch) {
+	if batch.Ns != nil {
+		hd := batch.Heads * batch.HeadDim
+		for r := 0; r < batch.NumRows(); r++ {
+			sub := batch
+			sub.Rows = 1
+			sub.N = batch.Ns[r]
+			sub.Ns = nil
+			sub.Q = batch.Q[r*hd : (r+1)*hd]
+			sub.Out = batch.Out[r*hd : (r+1)*hd]
+			sub.Keys = batch.Keys[r*batch.Heads : (r+1)*batch.Heads]
+			sub.Vals = batch.Vals[r*batch.Heads : (r+1)*batch.Heads]
+			k.AttendLayer(sub)
+		}
+		return
+	}
 	k.syncContext(batch.N)
 	k.rebuildActive(batch.Layer, batch.N)
 	for len(k.heads) < batch.Heads {
