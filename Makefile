@@ -35,18 +35,22 @@ test-full:
 # metrics/trace reconciliation test under churn, the iteration-batching
 # equivalence matrix (BatchEngine vs sequential decode for every kernel,
 # and serving with batching ON vs the serial reference, including prefix
-# sharing and preemption churn) pinned to one core and to every core,
-# then the steady-state allocation guards (attention + instrumentation +
-# sampler chain + batched decode) without -race (race instrumentation
-# skews alloc counts, so the guards skip themselves there).
+# sharing and preemption churn) pinned to one core and to every core, the
+# speculation equivalence matrix (greedy and seeded draft-and-verify vs
+# the non-speculative reference, every kernel × dispatch mode × executor
+# width, dense and paged) on the same two core counts, then the
+# steady-state allocation guards (attention + instrumentation + sampler
+# chain + batched decode + speculative pass) without -race (race
+# instrumentation skews alloc counts, so the guards skip themselves
+# there).
 check: fmt-check vet build
 	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/exec/ ./internal/obs/ ./internal/sample/ ./internal/serve/ ./internal/httpapi/ ./internal/bench/
 	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant|TestSamplerGreedyEquivalence|TestSamplingDeterministicAcrossEngines' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
 	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant|TestSamplerGreedyEquivalence|TestSamplingDeterministicAcrossEngines' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
 	TOPICK_QUICK=1 $(GO) test -race -count=1 -run 'TestParallelDecodeRace|TestHeadParallel|TestPreemptRequeueFinishes|TestSubmitCloseRace|TestMetricsReconcileUnderChurn|TestIterationBatchingSchedulerFairness' ./internal/bench/ ./internal/serve/
-	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestBatchEngineMatchesSequential|TestIterationBatchingBitExact|TestIterationBatchingPreemptionChurnBitExact' ./internal/model/ ./internal/serve/
-	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestBatchEngineMatchesSequential|TestIterationBatchingBitExact|TestIterationBatchingPreemptionChurnBitExact' ./internal/model/ ./internal/serve/
-	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestAttendSteadyStateZeroAllocs' ./internal/bench/
+	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestBatchEngineMatchesSequential|TestIterationBatchingBitExact|TestIterationBatchingPreemptionChurnBitExact|TestSpeculativeDecodeMatchesSequential|TestSpeculativeDecodeSeededBitExact|TestSpeculativeServingBitExact|TestSpeculativeServingSeededBitExact' ./internal/model/ ./internal/serve/
+	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestBatchEngineMatchesSequential|TestIterationBatchingBitExact|TestIterationBatchingPreemptionChurnBitExact|TestSpeculativeDecodeMatchesSequential|TestSpeculativeDecodeSeededBitExact|TestSpeculativeServingBitExact|TestSpeculativeServingSeededBitExact' ./internal/model/ ./internal/serve/
+	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestAttendSteadyStateZeroAllocs|TestSpeculativeDecodeSteadyStateZeroAllocs' ./internal/bench/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestBatchEngineSteadyStateZeroAllocs' ./internal/model/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestRecordPathsZeroAlloc' ./internal/obs/
 	TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestSampleSteadyStateZeroAllocs' ./internal/sample/
@@ -57,6 +61,8 @@ check: fmt-check vet build
 # for future PRs to regress against.
 bench:
 	$(GO) run ./cmd/topick-bench -out BENCH_decode.json
+	@w=$$(sed -n 's/^  "warning": "\(.*\)",$$/\1/p' BENCH_decode.json); \
+	if [ -n "$$w" ]; then echo "bench warning: $$w" >&2; fi
 
 # One-shot smoke run of every Go benchmark.
 bench-go:

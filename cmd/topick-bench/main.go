@@ -55,6 +55,10 @@ type report struct {
 	// Batching is the high-concurrency iteration-batching arm: per-session
 	// worker dispatch vs cross-session token batching over the same fleet.
 	Batching *batchingRecord `json:"iteration_batching,omitempty"`
+	// Speculative is the draft-and-verify arm: the same greedy fleet with
+	// speculation off and once per draft source; every arm must emit the
+	// baseline's exact token streams.
+	Speculative *speculativeRecord `json:"speculative,omitempty"`
 }
 
 // servingRecord persists the shared-prefix serving comparison.
@@ -85,6 +89,36 @@ type batchingRecord struct {
 	Occupancy       float64 `json:"batch_occupancy_rows"`
 	Iterations      int64   `json:"batch_iterations"`
 	TokensMatch     bool    `json:"tokens_match"`
+}
+
+// speculativeRecord persists the speculative-decoding serving comparison.
+type speculativeRecord struct {
+	Sessions       int               `json:"sessions"`
+	K              int               `json:"speculate_k"`
+	BaselineTokSec float64           `json:"baseline_tokens_per_sec"`
+	Arms           []specDraftRecord `json:"drafts"`
+}
+
+type specDraftRecord struct {
+	Draft          string  `json:"draft"`
+	TokSec         float64 `json:"tokens_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	Drafted        int64   `json:"drafted_tokens"`
+	Accepted       int64   `json:"accepted_tokens"`
+	AcceptanceRate float64 `json:"acceptance_rate"`
+	TokensMatch    bool    `json:"tokens_match"`
+}
+
+// warningFor recomputes the single-CPU warning from the CURRENT run's core
+// count. It must be assigned unconditionally: a stale warning merged in from
+// an earlier single-core record would otherwise survive into a multi-core
+// run's JSON (and vice versa — a multi-core record must lose the flag).
+func warningFor(cpus int) string {
+	if cpus == 1 {
+		return "single-CPU run: pool-executor and iteration-batching " +
+			"speedups measure scheduling overhead, not parallel gain"
+	}
+	return ""
 }
 
 func parseInts(s, flagName string) []int {
@@ -147,9 +181,8 @@ func main() {
 		CPUs:       runtime.NumCPU(),
 		Speedup:    map[string]float64{},
 	}
-	if rep.CPUs == 1 {
-		rep.Warning = "single-CPU run: pool-executor and iteration-batching " +
-			"speedups measure scheduling overhead, not parallel gain"
+	rep.Warning = warningFor(rep.CPUs)
+	if rep.Warning != "" {
 		fmt.Fprintf(os.Stderr, "topick-bench: warning: %s\n", rep.Warning)
 	}
 
@@ -252,6 +285,33 @@ func main() {
 		}
 		fmt.Printf("batching: %.1f vs %.1f tok/s, occupancy %.1f rows over %d iterations, tokens match %v\n",
 			res.WorkerTokSec, res.BatchedTokSec, res.Occupancy, res.Iterations, res.TokensMatch)
+	}
+
+	// Arm 5: speculative decoding — the same greedy fleet without drafting
+	// and once per draft source; acceptance rate and throughput per arm, and
+	// every arm must reproduce the baseline token streams exactly.
+	if *serving {
+		fmt.Println("speculative arm: running fleet per draft source...")
+		res := bench.CompareSpeculative(train.TestModel(), bench.DefaultSpeculativeOptions())
+		rec := &speculativeRecord{
+			Sessions:       res.Sessions,
+			K:              res.K,
+			BaselineTokSec: res.BaselineTokSec,
+		}
+		for _, a := range res.Arms {
+			rec.Arms = append(rec.Arms, specDraftRecord{
+				Draft:          a.Draft,
+				TokSec:         a.TokSec,
+				Speedup:        a.Speedup,
+				Drafted:        a.Drafted,
+				Accepted:       a.Accepted,
+				AcceptanceRate: a.AcceptanceRate,
+				TokensMatch:    a.TokensMatch,
+			})
+			fmt.Printf("speculative: draft=%-8s %.1f tok/s (%.2fx), acceptance %.0f%% (%d/%d), tokens match %v\n",
+				a.Draft, a.TokSec, a.Speedup, 100*a.AcceptanceRate, a.Accepted, a.Drafted, a.TokensMatch)
+		}
+		rep.Speculative = rec
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

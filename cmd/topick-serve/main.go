@@ -66,6 +66,7 @@ func main() {
 		share     = flag.Bool("share-prefix", true, "share cached prompt-prefix KV blocks across sessions")
 		maxBlocks = flag.Int("max-blocks", 0, "KV pool block budget (0 = unbounded; exhaustion preempts sessions)")
 		preempts  = flag.Int("max-preempts", 0, "per-session preemption budget (0 = default, negative = reject on exhaustion)")
+		specK     = flag.Int("speculate-k", 0, "speculative decoding draft window: verify up to K prompt-lookup draft tokens per engine pass (0 = off; output is bit-identical either way)")
 		listen    = flag.String("listen", "", "serve the HTTP API on this address (e.g. :8080) instead of the offline demo")
 
 		traceOut   = flag.String("trace-out", "", "record the lifecycle trace to this JSONL file (replayable by topick-sim -trace)")
@@ -125,6 +126,7 @@ func main() {
 		MaxBlocks:      *maxBlocks,
 		SharePrefix:    *share,
 		MaxPreempts:    *preempts,
+		Speculate:      tokenpicker.SpeculateConfig{K: *specK},
 		HeadParallel:   tokenpicker.ResolveParallel(*parallel),
 		Tracer:         tracer,
 		Detokenize:     detok,
@@ -140,7 +142,8 @@ func main() {
 		sessions: *sessions, workers: *workers, maxNew: *maxNew,
 		promptLen: *promptLen, stride: *stride, threshold: *threshold,
 		blockRows: *blockRows, parallel: *parallel, quantum: *quantum,
-		temp: *temp, deadline: *deadline, compare: *compare, share: *share,
+		specK: *specK,
+		temp:  *temp, deadline: *deadline, compare: *compare, share: *share,
 	})
 	flushTrace()
 }
@@ -205,7 +208,7 @@ func serveHTTP(srv *tokenpicker.Server, addr string, pprofOn bool, drainGrace ti
 
 type offlineOptions struct {
 	sessions, workers, maxNew, promptLen, stride int
-	blockRows, parallel, quantum                 int
+	blockRows, parallel, quantum, specK          int
 	threshold, temp                              float64
 	deadline                                     time.Duration
 	compare, share                               bool
@@ -296,6 +299,16 @@ func offlineDemo(res *tokenpicker.TrainResult, srv *tokenpicker.Server, o offlin
 	if rep.Preempted > 0 {
 		fmt.Printf("  preemptions          : %d (re-computed %d generated tokens)\n",
 			rep.Preempted, rep.RecomputeTokens)
+	}
+	if o.specK > 0 {
+		m := srv.Metrics()
+		drafted, accepted := m.SpecDrafted.Value(), m.SpecAccepted.Value()
+		rate := 0.0
+		if drafted > 0 {
+			rate = float64(accepted) / float64(drafted)
+		}
+		fmt.Printf("  speculation (k=%d)    : %d drafted, %d accepted (%.0f%%), %d verify passes\n",
+			o.specK, drafted, accepted, 100*rate, m.SpecVerifies.Value())
 	}
 	eager := int64(o.sessions) * int64(cfg.MaxSeq) * int64(cfg.Layers*cfg.Heads*2)
 	fmt.Printf("  vs eager allocation  : %d rows backed instead of %d (%.1fx less)\n",

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"tokenpicker/internal/model"
+	"tokenpicker/internal/obs"
+)
+
+// specGuardEmitter is the minimal greedy emitter: argmax, append to the
+// shared history, never stop. Its backing array is provisioned once so the
+// append never grows inside the measured region.
+type specGuardEmitter struct {
+	hist []int
+}
+
+func (e *specGuardEmitter) Emit(logits []float32) (int, bool) {
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	e.hist = append(e.hist, best)
+	return best, false
+}
+
+// TestSpeculativeDecodeSteadyStateZeroAllocs is the regression guard for the
+// draft-and-verify hot loop: once warmed up, a full speculative pass —
+// prompt-lookup drafting, the batched multi-row verify step, per-position
+// emission, and the rollback of rejected rows — must not allocate, with the
+// serving instrumentation (counters, histogram, traced draft/verify events
+// teed to a JSONL sink) live on top. Speculation exists to buy latency; it
+// may not pay for it in per-pass garbage.
+func TestSpeculativeDecodeSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	cfg := model.TestConfig()
+	params := model.NewParams(cfg, 37)
+	dec := model.NewDecoder(params, nil)
+	prompt := make([]int, 64)
+	for i := range prompt {
+		prompt[i] = i % 8 // heavy n-gram structure: the draft source fires
+	}
+	dec.MustPrompt(prompt)
+	base := dec.Len()
+
+	sd := model.NewSpecDecoder(dec, &model.NgramDraft{}, 4)
+	eng := model.NewBatchEngine(params)
+
+	reg := obs.NewRegistry()
+	draftedCtr := reg.Counter("guard_spec_drafted_total", "drafted", "")
+	acceptHist := reg.Histogram("guard_spec_acceptance", "acceptance", "",
+		[]float64{0, 0.25, 0.5, 0.75, 1})
+	tracer := obs.NewTracer(1 << 10)
+	tracer.SetSink(obs.NewJSONLWriter(io.Discard))
+
+	em := &specGuardEmitter{hist: make([]int, 0, len(prompt)+16)}
+	em.hist = append(em.hist, prompt...)
+	var step int32
+	pass := func() {
+		// Steady state: every pass verifies from the same context depth, as
+		// a long generation does one window at a time.
+		em.hist = em.hist[:len(prompt)]
+		dec.Rollback(base)
+		res, err := sd.Step(eng, nil, nil, em.hist, 8, em)
+		if err != nil {
+			t.Fatalf("spec step: %v", err)
+		}
+		step++
+		tracer.Record(obs.Event{
+			Session: 1, Kind: obs.KindDraftStep, Step: step,
+			Tokens: int32(res.Drafted), Rows: int32(base),
+		})
+		draftedCtr.AddSlot(1, int64(res.Drafted))
+		if res.Drafted > 0 {
+			acceptHist.Observe(float64(res.Accepted) / float64(res.Drafted))
+		}
+		tracer.Record(obs.Event{
+			Session: 1, Kind: obs.KindVerifyStep, Step: step,
+			Tokens: int32(res.Accepted), Rows: int32(dec.Len()),
+		})
+	}
+	for i := 0; i < 6; i++ {
+		pass() // warm up scratch, logits buffers, and the adaptive window
+	}
+	if allocs := testing.AllocsPerRun(100, pass); allocs != 0 {
+		t.Errorf("steady-state speculative pass allocates %g times per call", allocs)
+	}
+}

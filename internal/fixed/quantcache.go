@@ -61,6 +61,15 @@ type QuantCache struct {
 	planes     [][]int32
 	planeN     int   // rows with planes built
 	planeEpoch int64 // qc.epochs the planes correspond to
+
+	// Per-row magnitude bookkeeping for Truncate: rowMax[i] is the max
+	// |element| of privately-quantized row i, recorded as Sync scans it.
+	// Rows seeded from a shared snapshot have no individual record — only
+	// their collective max (seedMax over rows [0, seedLen)) — so truncation
+	// into the seeded prefix falls back to a full rebuild.
+	rowMax  []float32
+	seedLen int
+	seedMax float32
 }
 
 // reset discards the memo (row headers included: some may point into shared
@@ -72,6 +81,9 @@ func (qc *QuantCache) reset() {
 	qc.planeN = 0
 	qc.shared = 0
 	qc.rows = qc.rows[:0]
+	qc.rowMax = qc.rowMax[:0]
+	qc.seedLen = 0
+	qc.seedMax = 0
 }
 
 // Invalidate discards the memo — and any adopted shared prefix — but keeps
@@ -138,6 +150,8 @@ func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vecto
 			qc.maxMag = mm
 			qc.scale = sc
 			qc.rows = append(qc.rows[:0], brows...)
+			qc.seedLen = bn
+			qc.seedMax = mm
 		} else {
 			qc.base = nil // geometry mismatch (or deeper than src): unusable
 		}
@@ -168,10 +182,26 @@ func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vecto
 		qc.rows = append(qc.rows, qc.back[i*dim:(i+1)*dim])
 	}
 
+	if cap(qc.rowMax) < n {
+		c := cap(qc.rowMax)
+		if c < 64 {
+			c = 64
+		}
+		for c < n {
+			c *= 2
+		}
+		grown := make([]float32, c)
+		copy(grown, qc.rowMax)
+		qc.rowMax = grown
+	}
+	qc.rowMax = qc.rowMax[:n]
+
 	start := qc.n
 	newMax := qc.maxMag
 	for i := start; i < n; i++ {
-		if v := tensor.MaxAbs(src.Row(i)[:dim]); v > newMax {
+		v := tensor.MaxAbs(src.Row(i)[:dim])
+		qc.rowMax[i] = v
+		if v > newMax {
 			newMax = v
 		}
 	}
@@ -197,6 +227,42 @@ func (qc *QuantCache) Sync(src tensor.RowSource, n, dim int, bits uint) ([]Vecto
 	}
 	qc.n = n
 	return qc.rows[:n], qc.scale
+}
+
+// Truncate discards memoized rows [n, Len()) so the memo matches a source
+// rolled back to n rows (speculative-decoding rejection). The kept rows were
+// quantized at the shared scale derived from the running max magnitude, so
+// the memo stays valid only when the kept rows alone reproduce that scale.
+// When the truncated rows held the max, or when the cut lands inside a
+// seeded shared prefix (whose per-row maxima were never recorded), the memo
+// is discarded instead and the next Sync rebuilds from scratch — correct,
+// just not incremental. The cheap path consumes no scale epoch: re-appending
+// rows whose magnitudes stay within the kept max extends the memo without a
+// rebuild, exactly as if the rolled-back rows had never existed.
+func (qc *QuantCache) Truncate(n int) {
+	if n >= qc.n {
+		return
+	}
+	if n <= 0 || n < qc.seedLen {
+		qc.reset()
+		return
+	}
+	kept := qc.seedMax
+	for _, v := range qc.rowMax[qc.seedLen:n] {
+		if v > kept {
+			kept = v
+		}
+	}
+	if kept != qc.maxMag {
+		qc.reset()
+		return
+	}
+	qc.n = n
+	qc.rows = qc.rows[:n]
+	qc.rowMax = qc.rowMax[:n]
+	if qc.planeN > n {
+		qc.planeN = n
+	}
 }
 
 // SyncChunked is Sync at cs.TotalBits that additionally maintains the

@@ -31,10 +31,25 @@ type BatchEntry struct {
 	// prompt). Rows that skip it also skip the final layer norm and the
 	// vocabulary projection — the largest matmul of the step.
 	NeedLogits bool
+	// Verify marks a speculative-verification entry: a generation-phase
+	// entry whose Tokens are the session's pending token followed by drafted
+	// continuation tokens, all advanced in one pass. Unlike plain decode
+	// entries it may carry several tokens, and with NeedLogits set the
+	// engine exposes every position's next-token logits through LogitsAll so
+	// the caller can apply the longest-accepted-prefix rule and roll the
+	// decoder back past the rejection point. Verify entries are decode-phase
+	// (they use the generation kernel) and cannot be Prefill.
+	Verify bool
 
 	// Logits is the output when NeedLogits was set: a view into engine-owned
-	// storage, valid until the next Step. Nil when Err is set.
+	// storage, valid until the next Step. Nil when Err is set. For a Verify
+	// entry this is the final position's row (the bonus-token logits).
 	Logits []float32
+	// LogitsAll is the Verify-entry output when NeedLogits was set: the
+	// next-token logits of every position, len(Tokens) rows of VocabSize
+	// flattened row-major (row i answers "what follows Tokens[0..i]?"). A
+	// view into engine-owned storage, valid until the next Step.
+	LogitsAll []float32
 	// Err reports a per-entry storage failure (ErrContextFull, or a pool
 	// allocation error): the entry consumed nothing and took no part in the
 	// step, while the rest of the batch proceeded. The caller retries,
@@ -71,6 +86,12 @@ type BatchEngine struct {
 	// Per-layer attention views, refilled each layer without allocating.
 	ns         []int
 	keys, vals []tensor.RowSource
+
+	// Row-group scheduling for multi-token (verify) entries: one run length
+	// per decode entry, handed to the generation-phase AttendBatch only when
+	// some entry carries more than one row (see AttendBatch.Groups).
+	groups   []int
+	groupRun groupedTasks
 }
 
 // batchRow is one query row of the current step.
@@ -112,7 +133,7 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 	sawPrefill := false
 	for i := range entries {
 		ent := &entries[i]
-		ent.Logits, ent.Err = nil, nil
+		ent.Logits, ent.LogitsAll, ent.Err = nil, nil, nil
 		if ent.Dec == nil || len(ent.Tokens) == 0 {
 			panic("model: batch entry needs a decoder and at least one token")
 		}
@@ -120,12 +141,15 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 			panic("model: batch entry decoder built from different params")
 		}
 		if ent.Prefill {
+			if ent.Verify {
+				panic("model: a verify entry cannot be prefill")
+			}
 			sawPrefill = true
 		} else {
 			if sawPrefill {
 				panic("model: decode entries must precede prefill entries")
 			}
-			if len(ent.Tokens) != 1 {
+			if len(ent.Tokens) != 1 && !ent.Verify {
 				panic(fmt.Sprintf("model: decode entry carries %d tokens, want 1", len(ent.Tokens)))
 			}
 		}
@@ -181,6 +205,28 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 		genKernel = &e.exact
 	}
 
+	// Multi-token verify entries put several rows of one session — one KV
+	// cache, one quantized side-car — into the generation-phase batch; group
+	// those rows so same-head tasks of one session never run concurrently.
+	// With no such entry (the common case) groups stays nil and scheduling
+	// is exactly the per-(row, head) layout of plain iteration batching.
+	e.groups = e.groups[:0]
+	grouped := false
+	for i := range entries {
+		ent := &entries[i]
+		if ent.Prefill || ent.Err != nil {
+			continue
+		}
+		e.groups = append(e.groups, len(ent.Tokens))
+		if len(ent.Tokens) > 1 {
+			grouped = true
+		}
+	}
+	var groups []int
+	if grouped {
+		groups = e.groups
+	}
+
 	for l, b := range e.p.Blocks {
 		// Attention sublayer: row-batched QKV projections, KV rows appended
 		// to each row's own caches, then one multi-row AttendBatch per phase.
@@ -209,8 +255,8 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 			copy(e.keys[r*H:(r+1)*H], entries[row.entry].Dec.keySrc[l])
 			copy(e.vals[r*H:(r+1)*H], entries[row.entry].Dec.valSrc[l])
 		}
-		e.attend(l, 0, decodeRows, scale, genKernel, ex)
-		e.attend(l, decodeRows, R, scale, &e.exact, ex)
+		e.attend(l, 0, decodeRows, scale, genKernel, ex, groups)
+		e.attend(l, decodeRows, R, scale, &e.exact, ex, nil)
 		tensor.MatVecRows(e.tmp, b.Wo, e.attnOut, R)
 		for r := 0; r < R; r++ {
 			tensor.Add(e.tmp[r*d:(r+1)*d], e.tmp[r*d:(r+1)*d], b.Bo)
@@ -240,19 +286,35 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 	needed := 0
 	for i := range entries {
 		if entries[i].Err == nil && entries[i].NeedLogits {
-			needed++
+			if entries[i].Verify {
+				needed += len(entries[i].Tokens)
+			} else {
+				needed++
+			}
 		}
 	}
 	e.logits = grow(e.logits, needed*V)
 	out := 0
 	for r, row := range e.rows {
 		ent := &entries[row.entry]
-		if !ent.NeedLogits || row.pos != ent.Dec.n+len(ent.Tokens)-1 {
+		if !ent.NeedLogits {
+			continue
+		}
+		if !ent.Verify && row.pos != ent.Dec.n+len(ent.Tokens)-1 {
 			continue
 		}
 		tensor.LayerNorm(e.h[r*d:(r+1)*d], e.x[r*d:(r+1)*d], e.p.LnFG, e.p.LnFB, cfg.Eps)
-		ent.Logits = e.logits[out*V : (out+1)*V]
-		tensor.MatVec(ent.Logits, e.p.TokEmb, e.h[r*d:(r+1)*d])
+		lg := e.logits[out*V : (out+1)*V]
+		tensor.MatVec(lg, e.p.TokEmb, e.h[r*d:(r+1)*d])
+		ent.Logits = lg
+		if ent.Verify {
+			// An entry's rows are consecutive in row order, so its logits
+			// rows land contiguously; extend the flat view one row at a time.
+			if row.pos == ent.Dec.n {
+				ent.LogitsAll = e.logits[out*V : out*V]
+			}
+			ent.LogitsAll = ent.LogitsAll[:len(ent.LogitsAll)+V]
+		}
 		out++
 	}
 
@@ -264,24 +326,26 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 }
 
 // attend submits rows [lo, hi) as one multi-row AttendBatch through kernel.
-func (e *BatchEngine) attend(layer, lo, hi int, scale float32, kernel Kernel, ex exec.Executor) {
+func (e *BatchEngine) attend(layer, lo, hi int, scale float32, kernel Kernel, ex exec.Executor, groups []int) {
 	if hi <= lo {
 		return
 	}
 	cfg := e.p.Cfg
 	d := cfg.DModel()
 	kernel.AttendLayer(AttendBatch{
-		Layer:   layer,
-		Rows:    hi - lo,
-		Ns:      e.ns[lo:hi],
-		Heads:   cfg.Heads,
-		HeadDim: cfg.HeadDim,
-		Scale:   scale,
-		Slopes:  e.slopes,
-		Q:       e.q[lo*d : hi*d],
-		Out:     e.attnOut[lo*d : hi*d],
-		Keys:    e.keys[lo*cfg.Heads : hi*cfg.Heads],
-		Vals:    e.vals[lo*cfg.Heads : hi*cfg.Heads],
-		Exec:    ex,
+		Layer:    layer,
+		Rows:     hi - lo,
+		Ns:       e.ns[lo:hi],
+		Heads:    cfg.Heads,
+		HeadDim:  cfg.HeadDim,
+		Scale:    scale,
+		Slopes:   e.slopes,
+		Q:        e.q[lo*d : hi*d],
+		Out:      e.attnOut[lo*d : hi*d],
+		Keys:     e.keys[lo*cfg.Heads : hi*cfg.Heads],
+		Vals:     e.vals[lo*cfg.Heads : hi*cfg.Heads],
+		Exec:     ex,
+		Groups:   groups,
+		groupRun: &e.groupRun,
 	})
 }

@@ -48,6 +48,22 @@ type AttendBatch struct {
 	// Exec schedules the tasks; nil means serial. Kernels must route every
 	// task through Run so the executor choice is honoured.
 	Exec exec.Executor
+	// Groups, when non-nil, partitions the rows into consecutive runs that
+	// share mutable per-(layer, head) cache state: group g spans Groups[g]
+	// consecutive rows (the sum over Groups is Rows). The speculative-verify
+	// path puts several positions of ONE session in one batch; those rows
+	// share KV caches and quantized side-cars, so their same-head tasks must
+	// not run concurrently. Run then schedules group×head super-tasks —
+	// same-group same-head rows execute sequentially in ascending row order
+	// on one slot; everything else still parallelizes. Task indexing and
+	// kernel outputs are unchanged: quantized side-car syncs are
+	// path-independent (the shared scale depends only on the running max),
+	// so grouped execution stays bit-identical to the serial reference.
+	Groups []int
+	// groupRun is the caller-provided scratch for grouped scheduling (the
+	// serving engine presets it so steady-state verify steps allocate
+	// nothing); Run lazily allocates one when Groups is set without it.
+	groupRun *groupedTasks
 }
 
 // NumRows returns the number of query rows (>= 1; the zero value of Rows
@@ -101,13 +117,58 @@ func (b *AttendBatch) Width() int {
 
 // Run schedules one task per (row, head) pair on the batch's executor; the
 // work-stealing pool spreads rows×heads over its slots, so wide multi-row
-// batches keep every core busy even on few-head models.
+// batches keep every core busy even on few-head models. When Groups is set,
+// scheduling switches to group×head super-tasks so rows sharing cache state
+// never race (see Groups).
 func (b *AttendBatch) Run(tasks exec.Tasks) {
+	if b.Groups != nil {
+		gr := b.groupRun
+		if gr == nil {
+			gr = &groupedTasks{}
+		}
+		// Copy the fields rather than retaining b: storing the batch pointer
+		// would make every by-value AttendBatch parameter escape to the heap,
+		// breaking the zero-alloc decode path even when Groups is nil.
+		gr.groups = b.Groups
+		gr.heads = b.Heads
+		gr.inner = tasks
+		n := len(b.Groups) * b.Heads
+		if b.Exec == nil {
+			exec.Serial{}.Run(n, gr)
+		} else {
+			b.Exec.Run(n, gr)
+		}
+		gr.inner = nil
+		gr.groups = nil
+		return
+	}
 	if b.Exec == nil {
 		exec.Serial{}.Run(b.NumTasks(), tasks)
 		return
 	}
 	b.Exec.Run(b.NumTasks(), tasks)
+}
+
+// groupedTasks adapts a kernel's per-(row, head) tasks to group×head
+// super-tasks: super-task t covers group t/heads, head t%heads, and runs that
+// group's rows in ascending order on one slot — the serialization that keeps
+// rows sharing a cache side-car race-free.
+type groupedTasks struct {
+	groups []int
+	heads  int
+	inner  exec.Tasks
+}
+
+// Do implements exec.Tasks.
+func (g *groupedTasks) Do(t, slot int) {
+	grp, head := t/g.heads, t%g.heads
+	row := 0
+	for i := 0; i < grp; i++ {
+		row += g.groups[i]
+	}
+	for i := 0; i < g.groups[grp]; i++ {
+		g.inner.Do((row+i)*g.heads+head, slot)
+	}
 }
 
 // Kernel computes one layer's attention for a batch of query rows.
@@ -242,9 +303,13 @@ type KVCache interface {
 	// exhausted. Rows made addressable by a failed call may remain
 	// allocated.
 	EnsureLen(n int) error
-	// Truncate drops all rows but keeps the cache usable for a new
-	// sequence; pooled implementations return their blocks.
-	Truncate()
+	// Truncate drops rows [n, ...) but keeps the cache usable: Truncate(0)
+	// clears the cache for a new sequence (pooled implementations return all
+	// their blocks), a partial truncate rolls the sequence back to n rows
+	// (speculative-decoding rejection), releasing whole trailing blocks and
+	// keeping the quantized side-car's incremental invariants intact. Rows
+	// [0, n) must remain exactly as written.
+	Truncate(n int)
 	// Release returns all storage; the cache must not be used afterwards.
 	Release()
 }
@@ -305,7 +370,16 @@ func (c *denseCache) EnsureLen(n int) error {
 // side-car memo needs.
 func (c *denseCache) QuantCache() *fixed.QuantCache { return &c.qc }
 
-func (c *denseCache) Truncate() { c.qc.Invalidate() }
+func (c *denseCache) Truncate(n int) {
+	// The float rows need no work: validity is bounded by the decoder's
+	// consumed count, and a later write to row n lands on the same storage.
+	// Only the quantized memo must forget the dropped rows.
+	if n <= 0 {
+		c.qc.Invalidate()
+		return
+	}
+	c.qc.Truncate(n)
+}
 
 func (c *denseCache) Release() {
 	c.data = nil
@@ -409,12 +483,25 @@ func NewDecoderWith(p *Params, kernel Kernel, prov CacheProvider) *Decoder {
 
 // Reset clears the KV cache for a new sequence. Pooled caches return their
 // blocks; the decoder stays usable.
-func (dec *Decoder) Reset() {
-	dec.n = 0
+func (dec *Decoder) Reset() { dec.Rollback(0) }
+
+// Rollback truncates the consumed sequence to n tokens, discarding the KV
+// rows (and quantized side-car state) of everything after: the speculative
+// decoder calls this to drop draft positions past the accepted prefix. Rows
+// [0, n) stay bit-identical, so re-stepping the same tokens reproduces the
+// exact non-speculative state. It panics when n exceeds the consumed length.
+func (dec *Decoder) Rollback(n int) {
+	if n < 0 || n > dec.n {
+		panic(fmt.Sprintf("model: Rollback(%d) outside consumed length %d", n, dec.n))
+	}
+	if n == dec.n && n != 0 {
+		return
+	}
+	dec.n = n
 	for _, layer := range dec.caches {
 		for _, c := range layer {
-			c.K.Truncate()
-			c.V.Truncate()
+			c.K.Truncate(n)
+			c.V.Truncate(n)
 		}
 	}
 }

@@ -150,6 +150,15 @@ type Usage struct {
 	// RecomputeTokens counts generated tokens re-consumed during preemption
 	// replay: work redone, nothing re-emitted.
 	RecomputeTokens int
+	// DraftedTokens counts draft tokens submitted for speculative
+	// verification on this session's behalf (0 unless Config.Speculate.K
+	// > 0). AcceptedDraftTokens of them were reproduced by the session's
+	// sampler and kept; the rest were rolled back. Speculation changes
+	// neither GeneratedTokens nor the emitted stream — only how many engine
+	// passes produced it.
+	DraftedTokens int
+	// AcceptedDraftTokens counts drafted tokens that were accepted.
+	AcceptedDraftTokens int
 }
 
 // TotalTokens sums prompt and generated tokens, the usual billing figure.

@@ -345,11 +345,31 @@ func (c *pagedCache) markShared(nblocks int) {
 	}
 }
 
-func (c *pagedCache) Truncate() {
-	c.pool.releaseAll(c.blocks)
-	c.blocks = c.blocks[:0]
-	c.sharedUpTo = 0
-	c.qc.Invalidate()
+func (c *pagedCache) Truncate(n int) {
+	if n <= 0 {
+		c.pool.releaseAll(c.blocks)
+		c.blocks = c.blocks[:0]
+		c.sharedUpTo = 0
+		c.qc.Invalidate()
+		return
+	}
+	// Partial rollback: whole blocks past the kept rows go back to the pool;
+	// the block holding row n-1 stays, its tail rows simply stale (validity is
+	// bounded by the decoder's consumed count, and the next append lands on
+	// the same storage — after a CoW in EnsureLen if the block is shared, so a
+	// mid-block truncate of an adopted prefix never corrupts other readers).
+	keep := (n + c.pool.blockRows - 1) / c.pool.blockRows
+	if keep < len(c.blocks) {
+		c.pool.releaseAll(c.blocks[keep:])
+		for i := keep; i < len(c.blocks); i++ {
+			c.blocks[i] = nil
+		}
+		c.blocks = c.blocks[:keep]
+	}
+	if c.sharedUpTo > len(c.blocks) {
+		c.sharedUpTo = len(c.blocks)
+	}
+	c.qc.Truncate(n)
 }
 
 func (c *pagedCache) Release() {

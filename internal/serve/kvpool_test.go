@@ -75,8 +75,9 @@ func TestPoolRecyclesAcrossSessions(t *testing.T) {
 		t.Fatalf("peak %d, want 4", st.Peak)
 	}
 
-	// Truncate behaves like Release for accounting but keeps the cache usable.
-	second.Truncate()
+	// Truncate(0) behaves like Release for accounting but keeps the cache
+	// usable.
+	second.Truncate(0)
 	if st := pool.Stats(); st.InUse != 0 {
 		t.Fatalf("after truncate: %+v", st)
 	}
