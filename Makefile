@@ -1,17 +1,28 @@
 GO ?= go
 NCPU ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: all vet fmt-check build test test-full check bench bench-go serve-demo clean
+.PHONY: all vet fmt-check lint manifest build test test-full check bench bench-go serve-demo clean
 
 all: vet build test
 
 vet:
 	$(GO) vet ./...
 
-# Gate on canonical formatting: gofmt -l prints offending files.
+# Gate on canonical simplified formatting: gofmt -s -l prints offending files.
 fmt-check:
-	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
-		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+	@files=$$(gofmt -s -l .); if [ -n "$$files" ]; then \
+		echo "gofmt -s needed on:"; echo "$$files"; exit 1; fi
+
+# Project-invariant static analysis: the noalloc call graph, metric naming
+# and registration discipline, the typed trace vocabulary, and sentinel-error
+# hygiene, plus drift checks of docs/METRICS.md and docs/NOALLOC.md.
+lint:
+	$(GO) run ./cmd/topick-lint ./...
+
+# Regenerate the lint-gated manifests after adding/renaming a metric or a
+# //topick:noalloc annotation.
+manifest:
+	$(GO) run ./cmd/topick-lint -write-manifest
 
 build:
 	$(GO) build ./...
@@ -42,8 +53,9 @@ test-full:
 # steady-state allocation guards (attention + instrumentation + sampler
 # chain + batched decode + speculative pass) without -race (race
 # instrumentation skews alloc counts, so the guards skip themselves
-# there).
-check: fmt-check vet build
+# there). The gate opens with the static analysis suite: formatting, vet,
+# topick-lint (noalloc/metrics/trace/err discipline + manifest drift).
+check: fmt-check vet lint build
 	TOPICK_QUICK=1 $(GO) test -race ./internal/fixed/ ./internal/core/ ./internal/attention/ ./internal/spatten/ ./internal/exec/ ./internal/obs/ ./internal/sample/ ./internal/serve/ ./internal/httpapi/ ./internal/bench/
 	GOMAXPROCS=1 TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant|TestSamplerGreedyEquivalence|TestSamplingDeterministicAcrossEngines' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/
 	GOMAXPROCS=$(NCPU) TOPICK_QUICK=1 $(GO) test -count=1 -run 'TestPoolExecutorBitIdenticalToSerial|TestIncremental|TestPagedQuantSideCar|TestPrefixSharingLogitsBitExact|TestSharedQuant|TestSamplerGreedyEquivalence|TestSamplingDeterministicAcrossEngines' ./internal/bench/ ./internal/attention/ ./internal/serve/ ./internal/fixed/

@@ -1,0 +1,144 @@
+// Command topick-lint runs the project's static analysis suite
+// (internal/lint) over the whole module: noalloc, metricsdiscipline,
+// tracediscipline, and errdiscipline, plus drift checks of the generated
+// manifests (docs/METRICS.md, docs/NOALLOC.md).
+//
+// Usage:
+//
+//	topick-lint [-json] [-write-manifest] [packages]
+//
+// The package argument is accepted for familiarity ("./...") but the suite
+// always analyzes the whole module: the invariants it checks — the noalloc
+// call graph, duplicate metric registrations, the sentinel roster — are
+// cross-package properties. Exit status 1 means findings (or manifest
+// drift), 2 means the tree failed to load or type-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tokenpicker/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message)")
+	writeManifest := flag.Bool("write-manifest", false, "regenerate docs/METRICS.md and docs/NOALLOC.md and exit")
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	status, err := run(*dir, *jsonOut, *writeManifest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topick-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(status)
+}
+
+// jsonFinding is the machine-readable finding schema (-json).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(dir string, jsonOut, writeManifest bool) (int, error) {
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	unit := &lint.Unit{Fset: loader.Fset, Module: loader.Module, Pkgs: pkgs}
+
+	metricsPath := filepath.Join(loader.Root, "docs", "METRICS.md")
+	noallocPath := filepath.Join(loader.Root, "docs", "NOALLOC.md")
+	metricsManifest := lint.Manifest(lint.CollectMetrics(unit))
+	noallocManifest := lint.NoAllocManifest(lint.NoAllocRoots(pkgs))
+
+	if writeManifest {
+		if err := os.MkdirAll(filepath.Dir(metricsPath), 0o755); err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(metricsPath, []byte(metricsManifest), 0o644); err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(noallocPath, []byte(noallocManifest), 0o644); err != nil {
+			return 0, err
+		}
+		fmt.Printf("wrote %s and %s\n", rel(loader.Root, metricsPath), rel(loader.Root, noallocPath))
+		return 0, nil
+	}
+
+	diags := lint.Run(loader.Fset, loader.Module, pkgs, lint.Analyzers())
+	diags = append(diags, checkManifest(metricsPath, metricsManifest, "metricsdiscipline")...)
+	diags = append(diags, checkManifest(noallocPath, noallocManifest, "noalloc")...)
+
+	if jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     rel(loader.Root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(loader.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "topick-lint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// checkManifest diffs a generated manifest against its checked-in file.
+func checkManifest(path, want, analyzer string) []lint.Diagnostic {
+	got, err := os.ReadFile(path)
+	if err != nil {
+		return []lint.Diagnostic{{
+			Analyzer: analyzer,
+			Message: fmt.Sprintf("manifest %s missing (%v): run `go run ./cmd/topick-lint -write-manifest`",
+				filepath.Base(path), err),
+		}}
+	}
+	if string(got) != want {
+		return []lint.Diagnostic{{
+			Analyzer: analyzer,
+			Message: fmt.Sprintf("manifest %s drifted from the tree: run `go run ./cmd/topick-lint -write-manifest` and commit the diff",
+				filepath.Base(path)),
+		}}
+	}
+	return nil
+}
+
+// rel renders path relative to root when possible.
+func rel(root, path string) string {
+	if path == "" {
+		return "(manifest)"
+	}
+	if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

@@ -86,6 +86,8 @@ func (s *Stats) TotalReduction() float64 {
 // growScratch returns scratch with at least n elements, padding capacity to
 // the next power of two (min 64) so per-step context growth reallocates
 // O(log n) times instead of every decode step.
+//
+//topick:alloc-ok amortized power-of-two growth; steady-state calls reuse capacity
 func growScratch(buf []float32, n int) []float32 {
 	if cap(buf) >= n {
 		return buf[:n]
@@ -219,6 +221,9 @@ func (k *TokenPicker) AttendLayer(batch model.AttendBatch) {
 	batch.Run(&k.runner)
 }
 
+// attendTask is the per-(row, head) hot path.
+//
+//topick:noalloc
 func (k *TokenPicker) attendTask(b *model.AttendBatch, t, slot int) {
 	s := &k.slots[slot]
 	q, out := b.TaskQ(t), b.TaskOut(t)
@@ -335,6 +340,9 @@ func (k *QuantizedExact) AttendLayer(batch model.AttendBatch) {
 	batch.Run(&k.runner)
 }
 
+// attendTask is the per-(row, head) hot path.
+//
+//topick:noalloc
 func (k *QuantizedExact) attendTask(b *model.AttendBatch, t, slot int) {
 	s := &k.slots[slot]
 	q, out := b.TaskQ(t), b.TaskOut(t)
@@ -429,6 +437,9 @@ func (k *Oracle) AttendLayer(batch model.AttendBatch) {
 	batch.Run(&k.runner)
 }
 
+// attendTask is the per-(row, head) hot path.
+//
+//topick:noalloc
 func (k *Oracle) attendTask(b *model.AttendBatch, t, slot int) {
 	s := &k.slots[slot]
 	q, out := b.TaskQ(t), b.TaskOut(t)

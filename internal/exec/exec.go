@@ -52,6 +52,8 @@ type Serial struct{}
 func (Serial) Width() int { return 1 }
 
 // Run implements Executor.
+//
+//topick:noalloc
 func (Serial) Run(n int, tasks Tasks) {
 	for i := 0; i < n; i++ {
 		tasks.Do(i, 0)
@@ -192,6 +194,8 @@ func NewPool(width int) *Pool {
 func (p *Pool) Width() int { return p.width }
 
 // Run implements Executor.
+//
+//topick:noalloc
 func (p *Pool) Run(n int, tasks Tasks) {
 	parts := p.width
 	if n < parts {
@@ -291,6 +295,8 @@ func (p *Pool) SlotStats() []SlotStats {
 }
 
 // StatsTotal sums the per-slot accounting without allocating.
+//
+//topick:noalloc
 func (p *Pool) StatsTotal() SlotStats {
 	var total SlotStats
 	for i := range p.stats {

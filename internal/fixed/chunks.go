@@ -16,6 +16,8 @@ type ChunkSpec struct {
 var DefaultChunkSpec = ChunkSpec{TotalBits: 12, ChunkBits: 4}
 
 // Validate reports whether the spec is internally consistent.
+//
+//topick:alloc-ok error construction on the cold validation path
 func (cs ChunkSpec) Validate() error {
 	if cs.TotalBits < 2 || cs.TotalBits > 15 {
 		return fmt.Errorf("fixed: total bits %d out of range [2,15]", cs.TotalBits)

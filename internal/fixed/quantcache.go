@@ -377,6 +377,8 @@ func (s *SharedQuant) Len() int { return s.n }
 // at the shared scale of exactly those rows — and returns it. The first
 // caller fixes the geometry; callers with a different dim or bit width get
 // nil rows and must quantize privately.
+//
+//topick:alloc-ok snapshot is built once per shared prefix (s.built latch)
 func (s *SharedQuant) acquire(src tensor.RowSource, dim int, bits uint) (n int, maxMag float32, scale float64, rows []Vector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -407,6 +409,8 @@ func (s *SharedQuant) acquire(src tensor.RowSource, dim int, bits uint) (n int, 
 // acquirePlanes builds (once) and returns the chunk-contribution planes for
 // cs over the snapshot rows; nil when the snapshot is unbuilt or was built
 // for a different geometry or chunk spec.
+//
+//topick:alloc-ok planes are built once per snapshot (s.planesBuilt latch)
 func (s *SharedQuant) acquirePlanes(cs ChunkSpec) [][]int32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrAnalyzer enforces the sentinel-error discipline: exported package-level
+// sentinels (var ErrXxx of type error) are matched with errors.Is, never
+// ==/!= (wrapped errors — every %w site in the engine — would silently stop
+// matching), and errors returned from the storage/stepping contract methods
+// Step, Prompt, Truncate, and EnsureLen are never discarded (an ignored
+// ErrContextFull or pool failure turns into silent token corruption).
+// Comparisons inside an Is(error) bool method are the errors.Is protocol
+// itself and stay legal.
+func ErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errdiscipline",
+		Doc:  "sentinel errors use errors.Is; Step/Prompt/Truncate/EnsureLen errors are never dropped",
+		Run:  runErrs,
+	}
+}
+
+// droppedErrorFuncs are the call names whose trailing error result must be
+// consumed.
+var droppedErrorFuncs = map[string]bool{
+	"Step":      true,
+	"Prompt":    true,
+	"Truncate":  true,
+	"EnsureLen": true,
+}
+
+func runErrs(u *Unit) {
+	// Collect the module's exported sentinels (package-level var ErrXxx of
+	// type error) across every analyzed package.
+	sentinels := map[types.Object]bool{}
+	for _, pkg := range u.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Err") || len(name) <= 3 {
+				continue
+			}
+			obj, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !obj.Exported() {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				sentinels[obj] = true
+			} else if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+				sentinels[obj] = true
+			}
+		}
+	}
+
+	for _, pkg := range u.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				exemptIs := isErrorsIsMethod(info, fn)
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.BinaryExpr:
+						if !exemptIs {
+							checkSentinelCompare(u, info, sentinels, x)
+						}
+					case *ast.SwitchStmt:
+						if !exemptIs {
+							checkSentinelSwitch(u, info, sentinels, x)
+						}
+					case *ast.ExprStmt:
+						if call, ok := x.X.(*ast.CallExpr); ok {
+							checkDroppedError(u, info, call)
+						}
+					case *ast.GoStmt:
+						checkDroppedError(u, info, x.Call)
+					case *ast.DeferStmt:
+						checkDroppedError(u, info, x.Call)
+					case *ast.AssignStmt:
+						checkBlankError(u, info, x)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// isErrorsIsMethod reports whether fn is an Is(error) bool method — the
+// errors.Is protocol, where target == sentinel comparison is the point.
+func isErrorsIsMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Name.Name != "Is" || fn.Recv == nil {
+		return false
+	}
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Params().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+// sentinelRef resolves e to a sentinel object if it references one.
+func sentinelRef(info *types.Info, sentinels map[types.Object]bool, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil && sentinels[obj] {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil && sentinels[obj] {
+			return obj
+		}
+	}
+	return nil
+}
+
+func checkSentinelCompare(u *Unit, info *types.Info, sentinels map[types.Object]bool, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	obj := sentinelRef(info, sentinels, be.X)
+	if obj == nil {
+		obj = sentinelRef(info, sentinels, be.Y)
+	}
+	if obj == nil {
+		return
+	}
+	u.Reportf(be.Pos(), "sentinel %s compared with %s: use errors.Is (wrapped errors never match ==)", obj.Name(), be.Op)
+}
+
+func checkSentinelSwitch(u *Unit, info *types.Info, sentinels map[types.Object]bool, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := sentinelRef(info, sentinels, e); obj != nil {
+				u.Reportf(e.Pos(), "sentinel %s matched by switch case (== semantics): use errors.Is", obj.Name())
+			}
+		}
+	}
+}
+
+// callReturnsTrackedError reports whether call is a Step/Prompt/Truncate/
+// EnsureLen call whose last result is an error.
+func callReturnsTrackedError(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return "", false
+	}
+	if !droppedErrorFuncs[name] {
+		return "", false
+	}
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return "", false
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return name, types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+func checkDroppedError(u *Unit, info *types.Info, call *ast.CallExpr) {
+	if name, tracked := callReturnsTrackedError(info, call); tracked {
+		u.Reportf(call.Pos(), "%s returns an error that is discarded: handle it (ErrContextFull and pool failures must not vanish)", name)
+	}
+}
+
+// checkBlankError flags x, _ := f.Step(...) where the blank identifier sits
+// on the error result.
+func checkBlankError(u *Unit, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, tracked := callReturnsTrackedError(info, call)
+	if !tracked || len(as.Lhs) == 0 {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		u.Reportf(as.Pos(), "%s error result assigned to _: handle it (ErrContextFull and pool failures must not vanish)", name)
+	}
+}

@@ -1,0 +1,201 @@
+// Package lint is the project's static analysis suite: a stdlib-only
+// framework (go/parser + go/types with the source importer — no external
+// module dependencies) plus the four analyzers that enforce the engine's
+// compiler-invisible invariants everywhere, at review time:
+//
+//   - noalloc: functions annotated //topick:noalloc are transitively free of
+//     allocation-inducing constructs, with //topick:alloc-ok <reason> as the
+//     audited escape hatch.
+//   - metricsdiscipline: every metric registration uses a constant
+//     topick_* name with the right unit suffix, non-empty help, and no
+//     duplicate (name, labels) series; the module's families must match the
+//     checked-in docs/METRICS.md manifest.
+//   - tracediscipline: obs.Tracer event submissions only ever use the typed
+//     event-kind constants, never raw literals.
+//   - errdiscipline: exported sentinel errors are matched with errors.Is,
+//     never ==/!=, and errors returned from Step/Prompt/Truncate/EnsureLen
+//     are never discarded.
+//
+// cmd/topick-lint drives the suite over the whole module in make lint,
+// make check, and CI.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Unit is the whole-module view an analyzer runs over. Analyzers see every
+// package at once because the invariants they check are cross-package: the
+// noalloc call graph, duplicate metric registrations, and the sentinel-error
+// roster all span the module.
+type Unit struct {
+	Fset   *token.FileSet
+	Module string // module import path
+	Pkgs   []*Package
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (u *Unit) Reportf(pos token.Pos, format string, args ...any) {
+	*u.diags = append(*u.diags, Diagnostic{
+		Pos:      u.Fset.Position(pos),
+		Analyzer: u.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Unit)
+}
+
+// Analyzers is the full suite in execution order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoAllocAnalyzer(),
+		MetricsAnalyzer(),
+		TraceAnalyzer(),
+		ErrAnalyzer(),
+	}
+}
+
+// Run executes the analyzers over pkgs and returns the findings sorted by
+// position.
+func Run(fset *token.FileSet, module string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		u := &Unit{Fset: fset, Module: module, Pkgs: pkgs, analyzer: a.Name, diags: &diags}
+		a.Run(u)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directiveLines indexes the //topick:... directive comments of one package:
+// file -> line -> directive text (without the leading marker). Directives are
+// line-scoped: a trailing comment applies to its own line, a comment on a
+// line of its own applies to the next line as well.
+type directiveLines struct {
+	fset  *token.FileSet
+	byPos map[string]map[int]string // filename -> line -> reason
+}
+
+const (
+	noallocDirective = "//topick:noalloc"
+	allocOKDirective = "//topick:alloc-ok"
+)
+
+// collectAllocOK gathers the //topick:alloc-ok line directives of a package.
+func collectAllocOK(fset *token.FileSet, pkg *Package) *directiveLines {
+	d := &directiveLines{fset: fset, byPos: map[string]map[int]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allocOKDirective)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := d.byPos[pos.Filename]
+				if m == nil {
+					m = map[int]string{}
+					d.byPos[pos.Filename] = m
+				}
+				reason := strings.TrimSpace(rest)
+				m[pos.Line] = reason
+			}
+		}
+	}
+	return d
+}
+
+// allowed reports whether pos sits on (or directly under) an alloc-ok
+// directive line, and whether that directive carries a reason.
+func (d *directiveLines) allowed(pos token.Pos) (ok, hasReason bool) {
+	p := d.fset.Position(pos)
+	m := d.byPos[p.Filename]
+	if m == nil {
+		return false, false
+	}
+	if r, hit := m[p.Line]; hit {
+		return true, r != ""
+	}
+	if r, hit := m[p.Line-1]; hit {
+		return true, r != ""
+	}
+	return false, false
+}
+
+// funcHasDirective reports whether the function's doc comment carries the
+// given directive, returning the trailing text after it.
+func funcHasDirective(fn *ast.FuncDecl, directive string) (string, bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, directive); ok {
+			if rest == "" || strings.HasPrefix(rest, " ") {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// funcDisplayName renders pkg.Func or pkg.(Recv).Method for diagnostics and
+// the noalloc manifest.
+func funcDisplayName(pkg *Package, fn *ast.FuncDecl) string {
+	name := fn.Name.Name
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		recv := typeExprString(fn.Recv.List[0].Type)
+		return pkg.Types.Name() + ".(" + recv + ")." + name
+	}
+	return pkg.Types.Name() + "." + name
+}
+
+// typeExprString renders a receiver type expression compactly.
+func typeExprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeExprString(t.X)
+	case *ast.IndexExpr:
+		return typeExprString(t.X)
+	case *ast.IndexListExpr:
+		return typeExprString(t.X)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-corpus harness: each testdata package under testdata/src/<dir>
+// carries `// want "regex"` comments naming the findings its analyzer must
+// produce on that line. The harness fails on unmatched wants AND on findings
+// with no want — the corpora pin both directions of each analyzer.
+
+var corpora = []struct {
+	dir      string
+	analyzer func() *Analyzer
+}{
+	{"noalloc", NoAllocAnalyzer},
+	{"metrics", MetricsAnalyzer},
+	{"trace", TraceAnalyzer},
+	{"errs", ErrAnalyzer},
+}
+
+// wantArgRE extracts the quoted regexes of one want comment.
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantAssertion struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range corpora {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", tc.dir), "linttest/"+tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run(loader.Fset, loader.Module, []*Package{pkg}, []*Analyzer{tc.analyzer()})
+			wants := parseWants(t, loader, pkg)
+			if len(wants) == 0 {
+				t.Fatalf("corpus %s has no // want assertions", tc.dir)
+			}
+			for _, d := range diags {
+				if w := matchWant(wants, d); w != nil {
+					w.hit = true
+					continue
+				}
+				t.Errorf("unexpected finding: %s", d)
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want %q matched no finding", w.file, w.line, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// matchWant finds the first unconsumed want on the diagnostic's line whose
+// regex matches its message.
+func matchWant(wants []*wantAssertion, d Diagnostic) *wantAssertion {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants collects the `// want "regex" ["regex" ...]` comments of pkg.
+func parseWants(t *testing.T, loader *Loader, pkg *Package) []*wantAssertion {
+	t.Helper()
+	var wants []*wantAssertion
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(rest, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range args {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &wantAssertion{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestModuleLintClean is the suite's self-test: the module's own tree must
+// lint clean under all four analyzers, and the checked-in manifests must
+// match what the tree generates — the same gate cmd/topick-lint enforces, so
+// `topick-lint ./...` exiting 0 on this repo is pinned by `go test`.
+func TestModuleLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(loader.Fset, loader.Module, pkgs, Analyzers()) {
+		t.Errorf("module is not lint-clean: %s", d)
+	}
+
+	unit := &Unit{Fset: loader.Fset, Module: loader.Module, Pkgs: pkgs}
+	checkManifestFile(t, filepath.Join(loader.Root, "docs", "METRICS.md"), Manifest(CollectMetrics(unit)))
+
+	roots := NoAllocRoots(pkgs)
+	if len(roots) == 0 {
+		t.Error("module has no //topick:noalloc roots: the hot-path annotations are gone")
+	}
+	checkManifestFile(t, filepath.Join(loader.Root, "docs", "NOALLOC.md"), NoAllocManifest(roots))
+}
+
+func checkManifestFile(t *testing.T, path, want string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Errorf("manifest missing: %v (run `go run ./cmd/topick-lint -write-manifest`)", err)
+		return
+	}
+	if string(got) != want {
+		t.Errorf("%s drifted from the tree: run `go run ./cmd/topick-lint -write-manifest` and commit the diff", filepath.Base(path))
+	}
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MetricsAnalyzer enforces the topick_* metric naming and registration
+// contract at every obs.Registry call site: names are compile-time constants
+// matching topick_[a-z0-9_]+ with the unit suffix their metric type demands
+// (counters end _total; histograms end _seconds/_rows/_bytes/_rate/_ratio;
+// gauges never end _total), help text is a non-empty constant, constant
+// label sets are well-formed key="value" lists, and no (name, labels) series
+// is registered twice with conflicting help or type. The same scan feeds the
+// docs/METRICS.md manifest, so a rename or an undocumented family fails the
+// lint gate.
+func MetricsAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "metricsdiscipline",
+		Doc:  "metric registrations follow the topick_* naming/label contract",
+		Run:  func(u *Unit) { runMetrics(u, nil) },
+	}
+}
+
+// MetricSeries is one statically observed registration.
+type MetricSeries struct {
+	Name   string
+	Type   string // counter, gauge, histogram
+	Labels string // constant label set, or "<dynamic>"
+	Help   string
+}
+
+// registryMethods maps obs.Registry method names to the exposed metric type.
+var registryMethods = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^topick_[a-z0-9]+(_[a-z0-9]+)*$`)
+	labelsRE     = regexp.MustCompile(`^[a-z_][a-z0-9_]*="[^"]*"(,[a-z_][a-z0-9_]*="[^"]*")*$`)
+)
+
+// histogramSuffixes are the unit suffixes the contract allows a histogram
+// family to end with.
+var histogramSuffixes = []string{"_seconds", "_rows", "_bytes", "_rate", "_ratio"}
+
+// runMetrics scans every registration; when sink is non-nil it also
+// accumulates the manifest series.
+func runMetrics(u *Unit, sink *[]MetricSeries) {
+	type familyInfo struct {
+		typ   string
+		help  string
+		pos   map[string]bool // seen constant label sets
+		first string          // package of first registration
+	}
+	families := map[string]*familyInfo{}
+
+	for _, pkg := range u.Pkgs {
+		if isObsPackage(pkg) {
+			continue // the registry implementation itself
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				typ, ok := registryMethods[sel.Sel.Name]
+				if !ok || !isRegistryMethod(pkg.Info, sel) {
+					return true
+				}
+				if len(call.Args) < 3 {
+					return true
+				}
+
+				name, nameConst := constString(pkg.Info, call.Args[0])
+				if !nameConst {
+					u.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant")
+					return true
+				}
+				if !metricNameRE.MatchString(name) {
+					u.Reportf(call.Args[0].Pos(), "metric name %q must match topick_[a-z0-9_]+", name)
+				}
+				switch typ {
+				case "counter":
+					if !strings.HasSuffix(name, "_total") {
+						u.Reportf(call.Args[0].Pos(), "counter %s must end in _total", name)
+					}
+				case "gauge":
+					if strings.HasSuffix(name, "_total") {
+						u.Reportf(call.Args[0].Pos(), "gauge %s must not end in _total (gauges are instantaneous)", name)
+					}
+				case "histogram":
+					okSuffix := false
+					for _, s := range histogramSuffixes {
+						if strings.HasSuffix(name, s) {
+							okSuffix = true
+							break
+						}
+					}
+					if !okSuffix {
+						u.Reportf(call.Args[0].Pos(), "histogram %s must end in one of %s", name, strings.Join(histogramSuffixes, "/"))
+					}
+				}
+
+				help, helpConst := constString(pkg.Info, call.Args[1])
+				if !helpConst || strings.TrimSpace(help) == "" {
+					u.Reportf(call.Args[1].Pos(), "metric %s needs non-empty constant help text", name)
+				}
+
+				labels, labelsConst := constString(pkg.Info, call.Args[2])
+				if labelsConst && labels != "" && !labelsRE.MatchString(labels) {
+					u.Reportf(call.Args[2].Pos(), `metric %s labels %q must be a key="value" list`, name, labels)
+				}
+				labelKey := labels
+				if !labelsConst {
+					labelKey = "<dynamic>"
+				}
+
+				fam := families[name]
+				if fam == nil {
+					fam = &familyInfo{typ: typ, help: help, pos: map[string]bool{}, first: pkg.Path}
+					families[name] = fam
+				} else {
+					if fam.typ != typ {
+						u.Reportf(call.Pos(), "metric %s re-registered as %s (was %s in %s)", name, typ, fam.typ, fam.first)
+					}
+					if helpConst && fam.help != help {
+						u.Reportf(call.Args[1].Pos(), "metric %s help text disagrees with earlier registration in %s", name, fam.first)
+					}
+				}
+				if labelsConst {
+					if fam.pos[labelKey] {
+						u.Reportf(call.Pos(), "duplicate registration of series %s{%s}", name, labels)
+					}
+					fam.pos[labelKey] = true
+				}
+				if sink != nil {
+					*sink = append(*sink, MetricSeries{Name: name, Type: typ, Labels: labelKey, Help: help})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// CollectMetrics returns every statically observed metric series of the
+// module, for the manifest. Diagnostics raised during collection are
+// discarded (the analyzer pass reports them).
+func CollectMetrics(u *Unit) []MetricSeries {
+	var discard []Diagnostic
+	shadow := &Unit{Fset: u.Fset, Module: u.Module, Pkgs: u.Pkgs, analyzer: "metricsdiscipline", diags: &discard}
+	var series []MetricSeries
+	runMetrics(shadow, &series)
+	return series
+}
+
+// isObsPackage reports whether pkg is the observability package that
+// implements the registry.
+func isObsPackage(pkg *Package) bool {
+	return strings.HasSuffix(pkg.Path, "/obs") || pkg.Types.Name() == "obs"
+}
+
+// isRegistryMethod reports whether sel selects a method on obs.Registry.
+func isRegistryMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		(strings.HasSuffix(obj.Pkg().Path(), "/obs") || obj.Pkg().Name() == "obs")
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// Manifest renders the metric families as the docs/METRICS.md table: one
+// row per family (name, type, help), sorted by name, with the label sets of
+// multi-series families folded into a trailing column.
+func Manifest(series []MetricSeries) string {
+	type famRow struct {
+		typ, help string
+		labels    []string
+	}
+	fams := map[string]*famRow{}
+	var names []string
+	for _, s := range series {
+		f := fams[s.Name]
+		if f == nil {
+			f = &famRow{typ: s.Type, help: s.Help}
+			fams[s.Name] = f
+			names = append(names, s.Name)
+		}
+		if s.Labels != "" {
+			f.labels = append(f.labels, s.Labels)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# Metrics manifest\n\n")
+	b.WriteString("<!-- Generated by `go run ./cmd/topick-lint -write-manifest`; do not edit by hand.\n")
+	b.WriteString("     topick-lint fails when this file drifts from the registrations in the tree. -->\n\n")
+	b.WriteString("| name | type | labels | help |\n|---|---|---|---|\n")
+	for _, name := range names {
+		f := fams[name]
+		sort.Strings(f.labels)
+		labels := strings.Join(f.labels, "<br>")
+		if labels == "" {
+			labels = "—"
+		}
+		labels = strings.ReplaceAll(labels, "|", "\\|")
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", name, f.typ, labels, f.help)
+	}
+	return b.String()
+}

@@ -1,0 +1,611 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NoAllocAnalyzer checks that every function annotated //topick:noalloc is
+// transitively free of allocation-inducing constructs. The check follows
+// statically resolvable calls into other functions declared in the analyzed
+// packages (methods on concrete receivers, package-level functions); calls
+// through interfaces and func values are cut points — the invariant there is
+// carried by the callee's own annotation and the runtime alloc-guard tests.
+//
+// Flagged constructs: make, new, map/slice composite literals, &T{...},
+// append without capacity discipline (no x = x[:0] reslice of the target in
+// the same function and no append(x[:0], ...) form), string concatenation,
+// string<->[]byte/[]rune conversions, interface boxing of non-pointer-shaped
+// values (call arguments, assignments, returns), closures, go statements,
+// defer inside loops, and any call into package fmt. Arguments of panic(...)
+// are exempt (a panicking hot path is already dead), as is any line carrying
+// a //topick:alloc-ok <reason> directive. A //topick:alloc-ok <reason> in a
+// function's doc comment exempts its whole body (an audited amortized-growth
+// or cold path); the same directive on a call-site line stops the transitive
+// descent into that callee.
+//
+// The codebase's amortized-growth idiom is recognized structurally: inside a
+// block guarded by a cap/len comparison — if cap(x) < n { x = make(...) } or
+// for len(x) < n { x = append(x, ...) } — allocation constructs are growth,
+// not steady state, and are not flagged (the runtime alloc-guard tests pin
+// the steady-state behavior).
+func NoAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "//topick:noalloc functions must be transitively allocation-free",
+		Run:  runNoAlloc,
+	}
+}
+
+// funcInfo ties a function declaration to its package and directives.
+type funcInfo struct {
+	pkg    *Package
+	decl   *ast.FuncDecl
+	name   string // display name
+	root   bool   // carries //topick:noalloc
+	exempt bool   // carries //topick:alloc-ok (whole-function escape)
+}
+
+func runNoAlloc(u *Unit) {
+	// Index every function declaration of the analyzed packages by its
+	// types.Func object, so call sites resolve across packages.
+	funcs := map[*types.Func]*funcInfo{}
+	var roots []*types.Func
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{pkg: pkg, decl: fn, name: funcDisplayName(pkg, fn)}
+				if _, ok := funcHasDirective(fn, noallocDirective); ok {
+					fi.root = true
+				}
+				if reason, ok := funcHasDirective(fn, allocOKDirective); ok {
+					fi.exempt = true
+					if reason == "" {
+						u.Reportf(fn.Pos(), "function-level %s needs a reason", allocOKDirective)
+					}
+					if fi.root {
+						u.Reportf(fn.Pos(), "%s and %s on the same function contradict each other",
+							noallocDirective, allocOKDirective)
+					}
+				}
+				funcs[obj] = fi
+				if fi.root && !fi.exempt {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return funcs[roots[i]].name < funcs[roots[j]].name })
+
+	allocOK := map[*Package]*directiveLines{}
+	for _, pkg := range u.Pkgs {
+		allocOK[pkg] = collectAllocOK(u.Fset, pkg)
+	}
+
+	// Walk the static call graph from every root; each function is checked
+	// once, attributed to the first root that reached it.
+	checked := map[*types.Func]bool{}
+	var visit func(obj *types.Func, rootName string)
+	visit = func(obj *types.Func, rootName string) {
+		fi := funcs[obj]
+		if fi == nil || fi.exempt || checked[obj] {
+			return
+		}
+		checked[obj] = true
+		c := &allocChecker{
+			u:        u,
+			fi:       fi,
+			funcs:    funcs,
+			root:     rootName,
+			ok:       allocOK[fi.pkg],
+			resliced: map[string]bool{},
+		}
+		c.check()
+		for _, callee := range c.callees {
+			visit(callee, rootName)
+		}
+	}
+	for _, root := range roots {
+		visit(root, funcs[root].name)
+	}
+}
+
+// NoAllocRoots returns "package-path<TAB>function" for every
+// //topick:noalloc function in the module, sorted — the roster
+// docs/NOALLOC.md pins so removing a hot-path annotation fails the lint
+// gate.
+func NoAllocRoots(pkgs []*Package) []string {
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if _, ok := funcHasDirective(fn, noallocDirective); ok {
+					names = append(names, pkg.Path+"\t"+funcDisplayName(pkg, fn))
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NoAllocManifest renders the //topick:noalloc roster as the docs/NOALLOC.md
+// table, from the "package-path<TAB>function" entries NoAllocRoots returns.
+func NoAllocManifest(roots []string) string {
+	var b strings.Builder
+	b.WriteString("# //topick:noalloc roster\n\n")
+	b.WriteString("<!-- Generated by `go run ./cmd/topick-lint -write-manifest`; do not edit by hand.\n")
+	b.WriteString("     Every function below is statically checked to be transitively allocation-free;\n")
+	b.WriteString("     removing an annotation fails the lint gate until this roster is regenerated. -->\n\n")
+	b.WriteString("| package | function |\n|---|---|\n")
+	for _, r := range roots {
+		pkg, fn, _ := strings.Cut(r, "\t")
+		fmt.Fprintf(&b, "| `%s` | `%s` |\n", pkg, fn)
+	}
+	return b.String()
+}
+
+// allocChecker scans one function body for allocation-inducing constructs.
+type allocChecker struct {
+	u        *Unit
+	fi       *funcInfo
+	funcs    map[*types.Func]*funcInfo
+	root     string
+	ok       *directiveLines
+	resliced map[string]bool       // lvalues seen in "x = x[:0]": capacity-disciplined append targets
+	params   map[types.Object]bool // the function's own parameters
+	callees  []*types.Func         // statically resolved callees to descend into
+	loops    int
+	growth   int               // depth inside cap/len-guarded growth blocks
+	guards   map[ast.Node]bool // the if/for statements that opened them
+}
+
+func (c *allocChecker) flag(n ast.Node, format string, args ...any) {
+	if allowed, hasReason := c.ok.allowed(n.Pos()); allowed {
+		if !hasReason {
+			c.u.Reportf(n.Pos(), "%s needs a reason", allocOKDirective)
+		}
+		return
+	}
+	where := "//topick:noalloc " + c.fi.name
+	if c.root != c.fi.name {
+		where = fmt.Sprintf("%s (reached from //topick:noalloc %s)", c.fi.name, c.root)
+	}
+	c.u.Reportf(n.Pos(), "%s in %s", fmt.Sprintf(format, args...), where)
+}
+
+func (c *allocChecker) check() {
+	// The function's own parameters: appending to a caller-owned buffer
+	// (dst = append(dst, ...) appender idiom) is the caller's capacity
+	// discipline, not this function's allocation.
+	c.params = map[types.Object]bool{}
+	if c.fi.decl.Type.Params != nil {
+		for _, field := range c.fi.decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := c.fi.pkg.Info.Defs[name]; obj != nil {
+					c.params[obj] = true
+				}
+			}
+		}
+	}
+
+	// Pre-pass: collect capacity-discipline reslices (x = x[:0]).
+	ast.Inspect(c.fi.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			// Both x = x[:0] and local := s.field[:0] mark the LHS as a
+			// reused buffer: appends into it ride the donor's capacity.
+			if sl, ok := rhs.(*ast.SliceExpr); ok && isZeroCap(sl, c.fi.pkg.Info) {
+				c.resliced[exprString(as.Lhs[i])] = true
+			}
+		}
+		return true
+	})
+
+	// Main scan. The stack mirrors Inspect's descent so loop depth (for the
+	// defer check) unwinds correctly; panic arguments and closure bodies are
+	// pruned.
+	c.guards = map[ast.Node]bool{}
+	var stack []ast.Node
+	ast.Inspect(c.fi.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				c.loops--
+			}
+			if c.guards[top] {
+				c.growth--
+				delete(c.guards, top)
+			}
+			return true
+		}
+		descend := true
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			c.loops++
+			if fs, ok := n.(*ast.ForStmt); ok && isGrowthGuard(fs.Cond, c.fi.pkg.Info) {
+				c.growth++
+				c.guards[n] = true
+			}
+		case *ast.IfStmt:
+			if isGrowthGuard(x.Cond, c.fi.pkg.Info) {
+				c.growth++
+				c.guards[n] = true
+			}
+		case *ast.FuncLit:
+			c.flag(x, "closure allocates")
+			descend = false
+		case *ast.GoStmt:
+			c.flag(x, "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			if c.loops > 0 {
+				c.flag(x, "defer inside a loop allocates per iteration")
+			}
+		case *ast.CompositeLit:
+			if c.growth == 0 {
+				switch c.fi.pkg.Info.TypeOf(x).Underlying().(type) {
+				case *types.Slice:
+					c.flag(x, "slice literal allocates")
+				case *types.Map:
+					c.flag(x, "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && c.growth == 0 {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					c.flag(x, "&composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && c.growth == 0 {
+				if t, ok := c.fi.pkg.Info.TypeOf(x).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					c.flag(x, "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			c.checkBoxingAssign(x)
+		case *ast.ReturnStmt:
+			c.checkBoxingReturn(x)
+		case *ast.CallExpr:
+			if isBuiltin(c.fi.pkg.Info, x, "panic") {
+				descend = false // a panicking hot path is already dead
+			} else {
+				c.checkCall(x)
+			}
+		}
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// isGrowthGuard reports whether cond is a capacity/length growth guard: a
+// condition comparing cap(...) or len(...) with an ordering operator, as in
+// "cap(x) < n" or "len(x) < len(y)", or a shape-mismatch test like
+// "len(x) != n". Blocks guarded this way only run when a buffer must grow or
+// be reprovisioned — the amortized-provisioning idiom.
+func isGrowthGuard(cond ast.Expr, info *types.Info) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+		default:
+			return true
+		}
+		isCapLen := func(e ast.Expr) bool {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			return ok && (isBuiltin(info, call, "cap") || isBuiltin(info, call, "len"))
+		}
+		if isCapLen(be.X) || isCapLen(be.Y) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isZeroCap reports whether sl is x[:0] (or x[0:0]).
+func isZeroCap(sl *ast.SliceExpr, info *types.Info) bool {
+	if sl.High == nil || sl.Slice3 {
+		return false
+	}
+	if sl.Low != nil && !isConstZero(sl.Low, info) {
+		return false
+	}
+	return isConstZero(sl.High, info)
+}
+
+func isConstZero(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+// exprString renders an expression for lvalue identity comparison.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "?"
+	}
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func (c *allocChecker) checkCall(call *ast.CallExpr) {
+	info := c.fi.pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: string <-> []byte/[]rune.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins. Inside a cap/len-guarded growth block, make/new/append are
+	// the amortized-provisioning idiom, not steady-state allocation.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if c.growth > 0 {
+				return
+			}
+			switch b.Name() {
+			case "make":
+				c.flag(call, "make allocates")
+			case "new":
+				c.flag(call, "new allocates")
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	// Resolve the callee object.
+	var obj *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			// Method call: follow only when the receiver is concrete.
+			if mobj, ok := sel.Obj().(*types.Func); ok {
+				if _, iface := sel.Recv().Underlying().(*types.Interface); !iface {
+					obj = mobj
+				}
+			}
+		} else {
+			obj, _ = info.Uses[f.Sel].(*types.Func)
+		}
+	}
+	if obj != nil && obj.Pkg() != nil {
+		if obj.Pkg().Path() == "fmt" {
+			c.flag(call, "call into fmt allocates (fmt.%s)", obj.Name())
+		} else if c.funcs[obj] != nil && c.growth == 0 {
+			// Descend into analyzed code unless the call site carries an
+			// alloc-ok directive (an audited amortized-growth or cold-path
+			// callee).
+			if allowed, hasReason := c.ok.allowed(call.Pos()); allowed {
+				if !hasReason {
+					c.u.Reportf(call.Pos(), "%s needs a reason", allocOKDirective)
+				}
+			} else {
+				c.callees = append(c.callees, obj)
+			}
+		}
+	}
+
+	// Interface boxing at the call boundary.
+	c.checkBoxingCall(call)
+}
+
+func (c *allocChecker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 || c.growth > 0 {
+		return
+	}
+	info := c.fi.pkg.Info
+	from := info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toStr := isStringType(to)
+	fromStr := isStringType(from)
+	switch {
+	case toStr && !fromStr && !isConstExpr(info, call.Args[0]):
+		c.flag(call, "conversion to string allocates")
+	case !toStr && fromStr && isByteOrRuneSlice(to):
+		c.flag(call, "string to %s conversion allocates", to.Underlying())
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func (c *allocChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	target := ast.Unparen(call.Args[0])
+	// append(x[:0], ...) reuses x's capacity: amortized by construction.
+	if sl, ok := target.(*ast.SliceExpr); ok && isZeroCap(sl, c.fi.pkg.Info) {
+		return
+	}
+	// x = x[:0] earlier in this function marks x as a reused buffer.
+	if c.resliced[exprString(target)] {
+		return
+	}
+	// Appending to one of the function's own slice parameters is the
+	// appender idiom: capacity is the caller's buffer discipline.
+	if id, ok := target.(*ast.Ident); ok && c.params[c.fi.pkg.Info.Uses[id]] {
+		return
+	}
+	c.flag(call, "append without capacity discipline may allocate (reslice the target with x = x[:0] first, or annotate)")
+}
+
+// pointerShaped reports whether boxing a value of type t into an interface
+// needs no heap allocation (the value is the interface data word).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// boxes reports whether passing arg into a slot of type "to" is an
+// allocating interface conversion.
+func boxes(info *types.Info, to types.Type, arg ast.Expr) bool {
+	if to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	from := tv.Type
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false // interface to interface copies the header
+	}
+	if _, ok := from.(*types.TypeParam); ok {
+		return false
+	}
+	return !pointerShaped(from)
+}
+
+func (c *allocChecker) checkBoxingCall(call *ast.CallExpr) {
+	if c.growth > 0 {
+		return
+	}
+	info := c.fi.pkg.Info
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			c.flag(arg, "interface boxing of non-pointer value allocates")
+		}
+	}
+}
+
+func (c *allocChecker) checkBoxingAssign(as *ast.AssignStmt) {
+	info := c.fi.pkg.Info
+	if len(as.Lhs) != len(as.Rhs) || c.growth > 0 {
+		return
+	}
+	for i := range as.Lhs {
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if boxes(info, info.TypeOf(as.Lhs[i]), as.Rhs[i]) {
+			c.flag(as.Rhs[i], "interface boxing of non-pointer value allocates")
+		}
+	}
+}
+
+func (c *allocChecker) checkBoxingReturn(ret *ast.ReturnStmt) {
+	info := c.fi.pkg.Info
+	obj, ok := info.Defs[c.fi.decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	res := obj.Type().(*types.Signature).Results()
+	if res.Len() != len(ret.Results) {
+		return // bare return, or a single multi-value call
+	}
+	for i, r := range ret.Results {
+		if boxes(info, res.At(i).Type(), r) {
+			c.flag(r, "interface boxing of non-pointer value allocates")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package errscorpus is the golden corpus for the errdiscipline analyzer:
+// sentinel ==/!=/switch matching and every way of dropping a tracked error
+// carry // want assertions; errors.Is and the Is-method protocol are the
+// contract done right and must stay silent.
+package errscorpus
+
+import "errors"
+
+// ErrBoom is the corpus sentinel: exported, package-level, of type error.
+var ErrBoom = errors.New("boom")
+
+type stepper struct{}
+
+func (stepper) Step() error           { return nil }
+func (stepper) Prompt(p []int) error  { return nil }
+func (stepper) Truncate(n int) error  { return nil }
+func (stepper) EnsureLen(n int) error { return nil }
+
+// Step is a tracked free function with a trailing error result.
+func Step() (int, error) { return 0, nil }
+
+func compare(err error) bool {
+	if err == ErrBoom { // want "sentinel ErrBoom compared with =="
+		return true
+	}
+	if ErrBoom != err { // want "sentinel ErrBoom compared with !="
+		return false
+	}
+	switch err {
+	case ErrBoom: // want "sentinel ErrBoom matched by switch case"
+		return true
+	}
+	return errors.Is(err, ErrBoom)
+}
+
+func drop(s stepper) {
+	s.Step()            // want "Step returns an error that is discarded"
+	defer s.Truncate(1) // want "Truncate returns an error that is discarded"
+	go s.Prompt(nil)    // want "Prompt returns an error that is discarded"
+	_ = s.EnsureLen(3)  // want "EnsureLen error result assigned to _"
+}
+
+func dropPair() int {
+	v, _ := Step() // want "Step error result assigned to _"
+	return v
+}
+
+// handled consumes every tracked error; nothing here may be flagged.
+func handled(s stepper) error {
+	if err := s.Step(); err != nil {
+		return err
+	}
+	v, err := Step()
+	_ = v
+	return err
+}
+
+type matcher struct{}
+
+func (matcher) Error() string { return "matcher" }
+
+// Is implements the errors.Is protocol: the == comparison inside is the
+// point, and the analyzer exempts it.
+func (matcher) Is(target error) bool { return target == ErrBoom }

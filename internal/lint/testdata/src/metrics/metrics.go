@@ -1,0 +1,28 @@
+// Package metricscorpus is the golden corpus for the metricsdiscipline
+// analyzer: every naming, help, label, and duplicate-registration violation
+// carries a // want assertion; the first registration is the contract done
+// right and must stay silent.
+package metricscorpus
+
+import "tokenpicker/internal/obs"
+
+func register(r *obs.Registry, dyn string) {
+	r.Counter("topick_good_total", "a well-formed counter", "")
+	r.Gauge("topick_good_rows", "a well-formed gauge", `shard="0"`)
+	r.Histogram("topick_good_seconds", "a well-formed histogram", "", nil)
+
+	r.Counter("bad_name_total", "help", "")                  // want "metric name \"bad_name_total\" must match topick_"
+	r.Counter(dyn, "help", "")                               // want "metric name must be a compile-time constant"
+	r.Counter("topick_missing_suffix", "help", "")           // want "counter topick_missing_suffix must end in _total"
+	r.Gauge("topick_wrong_total", "help", "")                // want "gauge topick_wrong_total must not end in _total"
+	r.Histogram("topick_latency", "help", "", nil)           // want "histogram topick_latency must end in one of"
+	r.Counter("topick_nohelp_total", "", "")                 // want "metric topick_nohelp_total needs non-empty constant help text"
+	r.Counter("topick_badlabels_total", "help", "mode=fast") // want "must be a key=.value. list"
+
+	r.Counter("topick_dup_total", "dup help", `mode="a"`)
+	r.Counter("topick_dup_total", "dup help", `mode="a"`) // want "duplicate registration of series topick_dup_total"
+	r.Gauge("topick_dup_total", "dup help", `mode="b"`)   // want "gauge topick_dup_total must not end in _total" "metric topick_dup_total re-registered as gauge"
+
+	r.Counter("topick_help_total", "one help", "")
+	r.Counter("topick_help_total", "another help", `mode="x"`) // want "metric topick_help_total help text disagrees with earlier registration"
+}

@@ -1,0 +1,33 @@
+// Package tracecorpus is the golden corpus for the tracediscipline analyzer:
+// every way of smuggling an untyped value into the obs.Kind vocabulary
+// carries a // want assertion; the typed-constant usage at the end is the
+// contract done right and must stay silent.
+package tracecorpus
+
+import "tokenpicker/internal/obs"
+
+// badKind mints a new Kind constant outside obs.
+const badKind = obs.KindSubmit // want "new obs.Kind constant badKind minted outside obs"
+
+func smuggle() obs.Kind {
+	var k obs.Kind = 3                                   // want "raw literal used as obs.Kind"
+	k2 := obs.Kind(9)                                    // want "obs.Kind conversion of a constant" "raw literal used as obs.Kind"
+	if obs.KindFromString("submit") == obs.KindInvalid { // want "KindFromString with a string literal"
+		return k
+	}
+	if k.String() == "submit" { // want "comparing obs.Kind.String"
+		return k2
+	}
+	return k2
+}
+
+// typedUse is the legal vocabulary: declared constants, runtime values, and
+// constant-to-constant comparison.
+func typedUse(k obs.Kind) bool {
+	switch k {
+	case obs.KindSubmit, obs.KindInvalid:
+		return true
+	}
+	other := obs.KindSubmit
+	return k == other
+}

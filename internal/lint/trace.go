@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceAnalyzer enforces the typed span-event vocabulary of the lifecycle
+// tracer: every expression of type obs.Kind outside the obs package must be
+// a declared obs constant or a runtime value — never a numeric literal, a
+// Kind(n) conversion of a literal, or a new Kind constant minted outside
+// obs. KindFromString with a string literal is rejected too (use the
+// constant the literal names), as are comparisons of Kind.String() against
+// string literals. This is what keeps obs.ValidateTimeline meaningful: the
+// validator's event grammar and the emitters can only ever speak the same
+// vocabulary.
+func TraceAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "tracediscipline",
+		Doc:  "tracer event submissions only use the typed obs.Kind constants",
+		Run:  runTrace,
+	}
+}
+
+func runTrace(u *Unit) {
+	for _, pkg := range u.Pkgs {
+		if isObsPackage(pkg) {
+			continue // the vocabulary's home defines it
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GenDecl:
+					if x.Tok == token.CONST {
+						for _, spec := range x.Specs {
+							vs, ok := spec.(*ast.ValueSpec)
+							if !ok {
+								continue
+							}
+							for _, name := range vs.Names {
+								if obj := info.Defs[name]; obj != nil && isKindType(obj.Type()) {
+									u.Reportf(name.Pos(), "new obs.Kind constant %s minted outside obs: use the typed event-kind vocabulary", name.Name)
+								}
+							}
+						}
+					}
+				case *ast.BasicLit:
+					if tv, ok := info.Types[x]; ok && isKindType(tv.Type) {
+						u.Reportf(x.Pos(), "raw literal used as obs.Kind: use a typed event-kind constant")
+					}
+				case *ast.CallExpr:
+					checkKindCall(u, info, x)
+				case *ast.BinaryExpr:
+					checkKindStringCompare(u, info, x)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkKindCall flags Kind(lit) conversions and KindFromString("lit").
+func checkKindCall(u *Unit, info *types.Info, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() && isKindType(tv.Type) && len(call.Args) == 1 {
+		if isConstExpr(info, call.Args[0]) {
+			u.Reportf(call.Pos(), "obs.Kind conversion of a constant: use a typed event-kind constant")
+		}
+		return
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Name() != "KindFromString" || !isObsObject(obj) {
+		return
+	}
+	if len(call.Args) == 1 {
+		if _, lit := constString(info, call.Args[0]); lit {
+			u.Reportf(call.Pos(), "KindFromString with a string literal: use the obs.Kind constant it names")
+		}
+	}
+}
+
+// checkKindStringCompare flags k.String() ==/!= "literal".
+func checkKindStringCompare(u *Unit, info *types.Info, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	lit := func(e ast.Expr) bool { _, ok := constString(info, e); return ok }
+	stringer := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "String" {
+			return false
+		}
+		return isKindType(info.TypeOf(sel.X))
+	}
+	if (stringer(be.X) && lit(be.Y)) || (stringer(be.Y) && lit(be.X)) {
+		u.Reportf(be.Pos(), "comparing obs.Kind.String() to a string literal: compare the Kind constants instead")
+	}
+}
+
+// isKindType reports whether t is the obs.Kind named type.
+func isKindType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kind" && isObsObject(obj)
+}
+
+// isObsObject reports whether obj is declared in the obs package.
+func isObsObject(obj types.Object) bool {
+	pkg := obj.Pkg()
+	return pkg != nil && pkg.Name() == "obs"
+}

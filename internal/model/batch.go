@@ -126,6 +126,8 @@ func grow(buf []float32, n int) []float32 {
 // rows×heads attention tasks (nil = serial). Decode entries must precede
 // prefill entries. Per-entry storage failures land in BatchEntry.Err; the
 // rest of the batch is unaffected.
+//
+//topick:noalloc
 func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 	cfg := e.p.Cfg
 	e.rows = e.rows[:0]
@@ -160,6 +162,7 @@ func (e *BatchEngine) Step(entries []BatchEntry, gen Kernel, ex exec.Executor) {
 		}
 		n := ent.Dec.n
 		if n+len(ent.Tokens) > cfg.MaxSeq {
+			//topick:alloc-ok error construction on the context-full rejection path
 			ent.Err = fmt.Errorf("%w: %d tokens (max %d)", ErrContextFull, n, cfg.MaxSeq)
 			continue
 		}

@@ -124,6 +124,7 @@ func (b *AttendBatch) Run(tasks exec.Tasks) {
 	if b.Groups != nil {
 		gr := b.groupRun
 		if gr == nil {
+			//topick:alloc-ok grouped verify path only; nil-Groups decode batches never reach this
 			gr = &groupedTasks{}
 		}
 		// Copy the fields rather than retaining b: storing the batch pointer
@@ -241,6 +242,8 @@ func (k *ExactKernel) AttendLayer(batch AttendBatch) {
 // the next power of two (min 64) so a context growing one row per decode
 // step reallocates O(log n) times instead of every step — the batched
 // steady-state alloc guard counts on this.
+//
+//topick:alloc-ok amortized power-of-two growth; steady-state calls reuse capacity
 func growScratch(buf []float32, n int) []float32 {
 	if cap(buf) >= n {
 		return buf[:n]
@@ -554,6 +557,8 @@ func (dec *Decoder) Cache(layer, head int) (keys, vals tensor.RowSource) {
 // cache. It returns the logits after the final prompt token. On error
 // (ErrContextFull, or a pool allocation failure) the tokens before the
 // failing one remain consumed.
+//
+//topick:noalloc
 func (dec *Decoder) Prompt(tokens []int) ([]float32, error) {
 	var logits []float32
 	for _, t := range tokens {
@@ -569,6 +574,8 @@ func (dec *Decoder) Prompt(tokens []int) ([]float32, error) {
 // Step consumes one generation-phase token and returns next-token logits.
 // The configured kernel handles attention; nil means exact. It returns
 // ErrContextFull once MaxSeq tokens have been consumed.
+//
+//topick:noalloc
 func (dec *Decoder) Step(token int) ([]float32, error) {
 	k := dec.Kernel
 	if k == nil {
@@ -621,6 +628,7 @@ func (dec *Decoder) step(token int, kernel Kernel) ([]float32, error) {
 		panic(fmt.Sprintf("model: token %d out of vocab range", token))
 	}
 	if dec.n >= cfg.MaxSeq {
+		//topick:alloc-ok error construction on the context-full rejection path
 		return nil, fmt.Errorf("%w: %d tokens (max %d)", ErrContextFull, dec.n, cfg.MaxSeq)
 	}
 	pos := dec.n

@@ -323,6 +323,8 @@ func (sd *SpecDecoder) FinishEntry(ent *BatchEntry, emit Emitter) SpecResult {
 // budget minus one so a pass never drafts past the generation limit). On a
 // storage error nothing was consumed and no RNG was drawn; the pass can be
 // retried.
+//
+//topick:noalloc
 func (sd *SpecDecoder) Step(eng *BatchEngine, gen Kernel, ex exec.Executor, history []int, maxDraft int, emit Emitter) (SpecResult, error) {
 	entries := sd.Entries(sd.BeginEntry(history, maxDraft))
 	eng.Step(entries, gen, ex)

@@ -43,16 +43,24 @@ func newCounter(nshards int) *Counter {
 }
 
 // Add increments the counter by n on shard 0.
+//
+//topick:noalloc
 func (c *Counter) Add(n int64) { c.shards[0].v.Add(n) }
 
 // Inc increments the counter by one on shard 0.
+//
+//topick:noalloc
 func (c *Counter) Inc() { c.shards[0].v.Add(1) }
 
 // AddSlot increments by n on the shard selected by slot (wrapped to the
 // shard count), so fixed writers never contend on one cache line.
+//
+//topick:noalloc
 func (c *Counter) AddSlot(slot int, n int64) { c.shards[slot&c.mask].v.Add(n) }
 
 // IncSlot increments by one on slot's shard.
+//
+//topick:noalloc
 func (c *Counter) IncSlot(slot int) { c.shards[slot&c.mask].v.Add(1) }
 
 // Value merges the shards.
@@ -68,9 +76,13 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set replaces the gauge value.
+//
+//topick:noalloc
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the gauge by delta (negative to decrement).
+//
+//topick:noalloc
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value reads the gauge.
@@ -106,6 +118,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//topick:noalloc
 func (h *Histogram) Observe(v float64) {
 	// Linear scan: bucket counts are small (≈18) and the common latencies
 	// land early; a branch-predicted walk beats binary search at this size.

@@ -81,6 +81,8 @@ var kindNames = [...]string{
 }
 
 // String returns the wire name of the kind.
+//
+//topick:noalloc
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]
@@ -161,6 +163,8 @@ func (t *Tracer) Epoch() time.Time { return t.epoch }
 // Record stamps ev.T from the tracer's monotonic epoch and stores the event.
 // Stamping happens under the lock, so ring order and per-session order are
 // both monotonic by construction.
+//
+//topick:noalloc
 func (t *Tracer) Record(ev Event) {
 	t.mu.Lock()
 	ev.T = int64(time.Since(t.epoch))

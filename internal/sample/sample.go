@@ -190,6 +190,8 @@ var negInf = float32(math.Inf(-1))
 // Sample implements Sampler. The pure-greedy fast path (no penalty, no
 // bias) reads the raw logits directly and is bit-identical to
 // tensor.Argmax — the pre-chain serving behaviour.
+//
+//topick:noalloc
 func (c *Chain) Sample(logits []float32, history []int) int {
 	if c.cfg.Greedy() && c.cfg.RepetitionPenalty == 0 && len(c.cfg.LogitBias) == 0 {
 		return tensor.Argmax(logits)

@@ -211,6 +211,9 @@ func (k *Kernel) AttendLayer(batch model.AttendBatch) {
 	}
 }
 
+// attendHead is the per-head hot path.
+//
+//topick:noalloc
 func (k *Kernel) attendHead(b *model.AttendBatch, h, slot int) {
 	s := &k.slots[slot]
 	hs := &k.heads[h]
@@ -266,6 +269,8 @@ func (k *Kernel) attendHead(b *model.AttendBatch, h, slot int) {
 }
 
 // syncContext grows the importance table when new rows appear.
+//
+//topick:noalloc
 func (k *Kernel) syncContext(n int) {
 	for len(k.importance) < n {
 		k.importance = append(k.importance, 0)
@@ -281,6 +286,8 @@ func (k *Kernel) syncContext(n int) {
 // scan to emit the kept rows in ascending order — instead of the O(n log n)
 // full sort the priority order would otherwise cost every layer of every
 // decode step.
+//
+//topick:noalloc
 func (k *Kernel) rebuildActive(layer, n int) {
 	target := int(math.Ceil(k.cfg.layerKeepFraction(layer) * float64(n)))
 	if target < k.cfg.MinKeep {
