@@ -4,8 +4,9 @@
 // compares the incremental quantized-KV cache against the from-scratch
 // baseline and the head-parallel pool executor against serial execution,
 // runs the shared-prefix serving arm (prefix-cache hit rate, TTFT, and
-// prefill compute with sharing on vs off), and writes a JSON record future
-// PRs regress against:
+// prefill compute with sharing on vs off) and the replica-fleet arm (single
+// engine vs N replicas behind prefix-affinity routing), and writes a JSON
+// record future PRs regress against:
 //
 //	make bench            # writes BENCH_decode.json at the repo root
 //	go run ./cmd/topick-bench -contexts 128,512,1024 -out my.json
@@ -59,6 +60,10 @@ type report struct {
 	// speculation off and once per draft source; every arm must emit the
 	// baseline's exact token streams.
 	Speculative *speculativeRecord `json:"speculative,omitempty"`
+	// Fleet is the replica-fleet serving arm: the same shared-system-prompt
+	// tenant traffic on one engine and on N replicas behind prefix-affinity
+	// routing; the streams must stay bit-identical.
+	Fleet *fleetRecord `json:"fleet,omitempty"`
 }
 
 // servingRecord persists the shared-prefix serving comparison.
@@ -97,6 +102,26 @@ type speculativeRecord struct {
 	K              int               `json:"speculate_k"`
 	BaselineTokSec float64           `json:"baseline_tokens_per_sec"`
 	Arms           []specDraftRecord `json:"drafts"`
+}
+
+// fleetRecord persists the replica-fleet serving comparison.
+type fleetRecord struct {
+	Replicas        int       `json:"replicas"`
+	Sessions        int       `json:"sessions"`
+	TenantGroups    int       `json:"tenant_groups"`
+	SingleTokSec    float64   `json:"single_tokens_per_sec"`
+	FleetTokSec     float64   `json:"fleet_tokens_per_sec"`
+	Speedup         float64   `json:"speedup"`
+	RoutedAffinity  int64     `json:"routed_affinity"`
+	RoutedSpilled   int64     `json:"routed_spilled"`
+	RoutedBalanced  int64     `json:"routed_balanced"`
+	ReplicaHitRates []float64 `json:"replica_prefix_hit_rates"`
+	TokensMatch     bool      `json:"tokens_match"`
+	// Warning carries the single-CPU stamp under the same convention as the
+	// top-level field (assigned unconditionally from the current run's core
+	// count): on one core the fleet "speedup" honestly measures router and
+	// replication overhead, not parallel serving gain.
+	Warning string `json:"warning,omitempty"`
 }
 
 type specDraftRecord struct {
@@ -312,6 +337,31 @@ func main() {
 				a.Draft, a.TokSec, a.Speedup, 100*a.AcceptanceRate, a.Accepted, a.Drafted, a.TokensMatch)
 		}
 		rep.Speculative = rec
+	}
+
+	// Arm 6: replica fleet — the same tenant traffic on one engine and on a
+	// fleet with prefix-affinity routing; aggregate throughput, the router's
+	// decision mix, per-replica hit rates, and bit-exactness.
+	if *serving {
+		fmt.Println("fleet arm: running traffic on single engine and replica fleet...")
+		res := bench.CompareFleetServing(train.TestModel(), bench.DefaultFleetServingOptions())
+		rep.Fleet = &fleetRecord{
+			Replicas:        res.Replicas,
+			Sessions:        res.Sessions,
+			TenantGroups:    res.Groups,
+			SingleTokSec:    res.SingleTokS,
+			FleetTokSec:     res.FleetTokS,
+			Speedup:         res.Speedup(),
+			RoutedAffinity:  res.Routing.Affinity,
+			RoutedSpilled:   res.Routing.Spilled,
+			RoutedBalanced:  res.Routing.Balanced,
+			ReplicaHitRates: res.HitRates,
+			TokensMatch:     res.TokensMatch,
+			Warning:         warningFor(rep.CPUs),
+		}
+		fmt.Printf("fleet: %.1f vs %.1f tok/s (%.2fx), routing %d/%d/%d affinity/spill/balance, tokens match %v\n",
+			res.SingleTokS, res.FleetTokS, res.Speedup(),
+			res.Routing.Affinity, res.Routing.Spilled, res.Routing.Balanced, res.TokensMatch)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -14,7 +14,9 @@
 // GET /v1/trace, GET /metrics, GET /healthz, GET /readyz) and runs until
 // SIGINT/SIGTERM, then flips /readyz to 503 (draining), waits -drain-grace
 // for load balancers to notice, drains in-flight sessions, and exits
-// cleanly.
+// cleanly. With -replicas N (N > 1) the same API fronts a fleet of N
+// engine replicas behind a prefix-affinity router (-affinity), adding
+// per-replica GET /v1/replicas/{id}/stats and /metrics.
 //
 // Observability: -trace-buf sizes the lifecycle tracer's ring (served at
 // GET /v1/trace), -trace-out records every span event to a JSONL file
@@ -27,6 +29,7 @@
 //	topick-serve -max-blocks 256 -max-preempts 4   # preempt under pool pressure
 //	topick-serve -listen :8080                     # HTTP/SSE front-end
 //	topick-serve -listen :8080 -trace-out trace.jsonl -pprof
+//	topick-serve -listen :8080 -replicas 2                 # replica fleet
 //	curl -s localhost:8080/v1/completions -d '{"prompt":[1,2,3],"max_tokens":8}'
 //	curl -s localhost:8080/metrics | grep topick_ttft
 package main
@@ -67,6 +70,8 @@ func main() {
 		maxBlocks = flag.Int("max-blocks", 0, "KV pool block budget (0 = unbounded; exhaustion preempts sessions)")
 		preempts  = flag.Int("max-preempts", 0, "per-session preemption budget (0 = default, negative = reject on exhaustion)")
 		specK     = flag.Int("speculate-k", 0, "speculative decoding draft window: verify up to K prompt-lookup draft tokens per engine pass (0 = off; output is bit-identical either way)")
+		replicas  = flag.Int("replicas", 1, "engine replicas behind a prefix-affinity router (>1 = fleet mode; token streams stay bit-identical to -replicas 1)")
+		affinity  = flag.Bool("affinity", true, "with -replicas >1, route by rendezvous hash of the leading prompt chunks so shared prefixes stay replica-local (false = least-loaded only)")
 		listen    = flag.String("listen", "", "serve the HTTP API on this address (e.g. :8080) instead of the offline demo")
 
 		traceOut   = flag.String("trace-out", "", "record the lifecycle trace to this JSONL file (replayable by topick-sim -trace)")
@@ -118,7 +123,7 @@ func main() {
 	fmt.Printf("model %s: %d layers x %d heads, head dim %d, context %d\n\n",
 		cfg.Name, cfg.Layers, cfg.Heads, cfg.HeadDim, cfg.MaxSeq)
 
-	srv := tokenpicker.NewServer(res.Params, tokenpicker.ServeConfig{
+	engineCfg := tokenpicker.ServeConfig{
 		Workers:        *workers,
 		Quantum:        *quantum,
 		MaxBatchTokens: *maxBatch,
@@ -131,7 +136,29 @@ func main() {
 		Tracer:         tracer,
 		Detokenize:     detok,
 		NewKernel:      func() tokenpicker.Kernel { return tokenpicker.NewKernel(*threshold) },
-	})
+	}
+
+	if *replicas > 1 {
+		if *listen == "" {
+			fmt.Fprintln(os.Stderr, "-replicas >1 needs -listen: fleet mode serves the HTTP API")
+			os.Exit(2)
+		}
+		if tracer != nil {
+			// Replica session ids would collide in one shared ring; requests
+			// are correlated across replicas via X-Request-ID instead.
+			fmt.Fprintln(os.Stderr, "fleet mode ignores -trace-buf/-trace-out (tracing is per-replica); correlate with X-Request-ID")
+			engineCfg.Tracer = nil
+		}
+		fl := tokenpicker.NewFleet(res.Params, tokenpicker.FleetConfig{
+			Replicas: *replicas,
+			Affinity: *affinity,
+			Serve:    engineCfg,
+		})
+		serveFleetHTTP(fl, *listen, *pprofOn, *drainGrace)
+		return
+	}
+
+	srv := tokenpicker.NewServer(res.Params, engineCfg)
 
 	if *listen != "" {
 		serveHTTP(srv, *listen, *pprofOn, *drainGrace)
@@ -160,6 +187,38 @@ func serveHTTP(srv *tokenpicker.Server, addr string, pprofOn bool, drainGrace ti
 		Model: "topick-demo",
 		Detok: detok,
 	})
+	runHTTP(handler, addr, pprofOn, drainGrace, func() {
+		srv.Close()
+		rep := srv.Report()
+		fmt.Printf("served %d sessions (%d prompt + %d generated tokens), pruning %.2fx\n",
+			rep.Admitted, rep.PromptTokens, rep.GenTokens, rep.Attn.PruningRatio())
+	})
+}
+
+// serveFleetHTTP is serveHTTP for a replica fleet: same lifecycle, fleet
+// front-end, router-aware final report.
+func serveFleetHTTP(fl *tokenpicker.Fleet, addr string, pprofOn bool, drainGrace time.Duration) {
+	handler := tokenpicker.NewFleetHTTPHandler(fl, tokenpicker.HTTPOptions{
+		Model: "topick-demo",
+		Detok: detok,
+	})
+	fmt.Printf("fleet mode: %d replicas behind prefix-affinity routing\n", fl.Replicas())
+	runHTTP(handler, addr, pprofOn, drainGrace, func() {
+		fl.Close()
+		rep := fl.Report()
+		roll := rep.Rollup()
+		fmt.Printf("served %d sessions across %d replicas (%d prompt + %d generated tokens)\n",
+			roll.Admitted, fl.Replicas(), roll.PromptTokens, roll.GenTokens)
+		fmt.Printf("routing: %d affinity, %d spilled, %d balanced, %d rate-limited, %d rejected\n",
+			rep.Routing.Affinity, rep.Routing.Spilled, rep.Routing.Balanced,
+			rep.Routing.RateLimited, rep.Routing.Rejected)
+	})
+}
+
+// runHTTP is the shared server lifecycle: listen, wait for SIGINT/SIGTERM,
+// flip /readyz to draining, grace, shut the listener, then let report drain
+// the engine(s) and print the final accounting.
+func runHTTP(handler *tokenpicker.HTTPHandler, addr string, pprofOn bool, drainGrace time.Duration, report func()) {
 	var root http.Handler = handler
 	if pprofOn {
 		mux := http.NewServeMux()
@@ -199,10 +258,7 @@ func serveHTTP(srv *tokenpicker.Server, addr string, pprofOn bool, drainGrace ti
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
 	}
-	srv.Close()
-	rep := srv.Report()
-	fmt.Printf("served %d sessions (%d prompt + %d generated tokens), pruning %.2fx\n",
-		rep.Admitted, rep.PromptTokens, rep.GenTokens, rep.Attn.PruningRatio())
+	report()
 	fmt.Println("clean shutdown")
 }
 

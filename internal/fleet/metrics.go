@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"strconv"
+
+	"tokenpicker/internal/obs"
+)
+
+// Metrics is the fleet's own registry: router decisions, admission-control
+// rejections, and per-replica rollup series. It deliberately holds no
+// engine families — each replica keeps its full engine registry (scrape it
+// at /v1/replicas/{id}/metrics), so fleet and replica series never collide
+// in one exposition.
+type Metrics struct {
+	Registry *obs.Registry
+
+	// Router decision counters; together they count every admitted session.
+	RoutedAffinity *obs.Counter
+	RoutedSpill    *obs.Counter
+	RoutedBalance  *obs.Counter
+	// Front-door rejections.
+	RateLimited *obs.Counter
+	Rejected    *obs.Counter
+	// RouteSeconds times the routing decision itself (load scan + key hash
+	// + rendezvous), per submit.
+	RouteSeconds *obs.Histogram
+	// ReplicaRouted counts admissions per replica, indexed like Replica(i).
+	ReplicaRouted []*obs.Counter
+}
+
+const (
+	helpRouted        = "Sessions admitted by router decision: affinity (rendezvous winner), spill (affine replica saturated), balance (no affinity key)."
+	helpRateLimited   = "Submits rejected by a per-tenant token-rate bucket."
+	helpRejected      = "Submits rejected by fleet-wide admission control."
+	helpRouteSeconds  = "Router decision latency per submit (load scan, prefix-key hash, rendezvous)."
+	helpReplicas      = "Engine replicas in the fleet."
+	helpFleetGen      = "Generated tokens summed over all replicas (reconciles with each replica's topick_generated_tokens_total)."
+	helpFleetPrompt   = "Prefilled prompt tokens summed over all replicas."
+	helpReplicaRouted = "Sessions the router admitted onto this replica."
+	helpReplicaActive = "Sessions currently active on this replica (the router's load signal)."
+	helpReplicaGen    = "Generated tokens on this replica."
+	helpReplicaPrompt = "Prefilled prompt tokens on this replica."
+	helpReplicaHit    = "Prefix-index hit rate on this replica (hits / lookups; 0 when sharing is off or nothing was probed)."
+)
+
+func newMetrics(f *Fleet) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{Registry: reg}
+	m.RoutedAffinity = reg.Counter("topick_fleet_routed_total", helpRouted, `decision="affinity"`)
+	m.RoutedSpill = reg.Counter("topick_fleet_routed_total", helpRouted, `decision="spill"`)
+	m.RoutedBalance = reg.Counter("topick_fleet_routed_total", helpRouted, `decision="balance"`)
+	m.RateLimited = reg.Counter("topick_fleet_rate_limited_total", helpRateLimited, "")
+	m.Rejected = reg.Counter("topick_fleet_rejected_total", helpRejected, "")
+	m.RouteSeconds = reg.Histogram("topick_fleet_route_seconds", helpRouteSeconds, "", nil)
+	reg.GaugeFunc("topick_fleet_replicas", helpReplicas, "", func() float64 {
+		return float64(len(f.replicas))
+	})
+	reg.CounterFunc("topick_fleet_generated_tokens_total", helpFleetGen, "", func() float64 {
+		var sum int64
+		for _, r := range f.replicas {
+			sum += r.Metrics().Generated.Value()
+		}
+		return float64(sum)
+	})
+	reg.CounterFunc("topick_fleet_prompt_tokens_total", helpFleetPrompt, "", func() float64 {
+		var sum int64
+		for _, r := range f.replicas {
+			sum += r.Metrics().PromptTokens.Value()
+		}
+		return float64(sum)
+	})
+	m.ReplicaRouted = make([]*obs.Counter, len(f.replicas))
+	for i := range f.replicas {
+		r := f.replicas[i]
+		label := `replica="` + strconv.Itoa(i) + `"`
+		m.ReplicaRouted[i] = reg.Counter("topick_fleet_replica_routed_total", helpReplicaRouted, label)
+		reg.GaugeFunc("topick_fleet_replica_active", helpReplicaActive, label, func() float64 {
+			return float64(r.ActiveSessions())
+		})
+		reg.CounterFunc("topick_fleet_replica_generated_tokens_total", helpReplicaGen, label, func() float64 {
+			return float64(r.Metrics().Generated.Value())
+		})
+		reg.CounterFunc("topick_fleet_replica_prompt_tokens_total", helpReplicaPrompt, label, func() float64 {
+			return float64(r.Metrics().PromptTokens.Value())
+		})
+		reg.GaugeFunc("topick_fleet_replica_prefix_hit_ratio", helpReplicaHit, label, func() float64 {
+			return r.Report().Prefix.HitRate()
+		})
+	}
+	return m
+}

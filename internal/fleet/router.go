@@ -1,0 +1,65 @@
+package fleet
+
+// Router decisions, in the order the topick_fleet_routed_total labels
+// report them.
+const (
+	// decisionAffinity: the request landed on its rendezvous-affine replica.
+	decisionAffinity = iota
+	// decisionSpill: the affine replica was saturated; the request was
+	// diverted to the least-loaded one.
+	decisionSpill
+	// decisionBalance: no affinity key applied (prompt shorter than one
+	// chunk, or affinity off); plain least-loaded placement.
+	decisionBalance
+)
+
+// mix folds the prefix key and a replica index into that replica's
+// rendezvous weight: a splitmix64-style finalizer, so each replica scores
+// every key with an independent-looking 64-bit weight and the argmax is
+// stable under any replica's load churn (highest-random-weight hashing).
+//
+//topick:noalloc
+func mix(key uint64, replica int) uint64 {
+	x := key ^ (uint64(replica)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// routePick is the pure routing decision — the steady-state path of every
+// Submit, kept allocation-free. chunks == 0 (no affinity key) places on the
+// least-loaded replica. Otherwise the rendezvous winner for key takes the
+// request unless it is saturated: at the per-replica session bound, or more
+// than spillMargin sessions ahead of the fleet minimum (margin spilling is
+// disabled when spillMargin is negative). Saturation spills to the
+// least-loaded replica. Ties on load keep the lowest index, so the decision
+// is deterministic for a given load vector.
+//
+//topick:noalloc
+func routePick(key uint64, chunks int, loads []int, spillMargin, perMax int) (idx, decision int) {
+	minIdx := 0
+	for i := 1; i < len(loads); i++ {
+		if loads[i] < loads[minIdx] {
+			minIdx = i
+		}
+	}
+	if chunks == 0 {
+		return minIdx, decisionBalance
+	}
+	best := 0
+	bestScore := mix(key, 0)
+	for i := 1; i < len(loads); i++ {
+		if s := mix(key, i); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	saturated := loads[best] >= perMax ||
+		(spillMargin >= 0 && loads[best]-loads[minIdx] > spillMargin)
+	if saturated && best != minIdx {
+		return minIdx, decisionSpill
+	}
+	return best, decisionAffinity
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tokenpicker/internal/serve"
+)
+
+// RateLimitError reports a tenant whose token bucket cannot cover a
+// request. It matches serve.ErrBusy via errors.Is, so transports reuse the
+// engine's 429 backpressure mapping unchanged.
+type RateLimitError struct {
+	Tenant string
+	// RetryAfter estimates when the bucket will have refilled enough to
+	// admit the same request.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("fleet: tenant %q over token rate limit, retry in %s", e.Tenant, e.RetryAfter)
+}
+
+// Is reports serve.ErrBusy: a rate-limited tenant is backpressure, not a
+// malformed request.
+func (e *RateLimitError) Is(target error) bool { return target == serve.ErrBusy }
+
+// tenantLimiter is a token-bucket rate limiter keyed by tenant. Buckets
+// start full and refill continuously at rate tokens/second up to burst.
+type tenantLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // test hook
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate, burst float64) *tenantLimiter {
+	return &tenantLimiter{rate: rate, burst: burst, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// take charges cost tokens against tenant's bucket. A cost above the bucket
+// capacity is clamped to it, so an oversized request drains a full bucket
+// instead of being unserviceable forever. On refusal it returns how long
+// the tenant must wait for the bucket to cover the same cost.
+func (l *tenantLimiter) take(tenant string, cost float64) (retryAfter time.Duration, ok bool) {
+	if cost > l.burst {
+		cost = l.burst
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return 0, true
+	}
+	return time.Duration((cost - b.tokens) / l.rate * float64(time.Second)), false
+}

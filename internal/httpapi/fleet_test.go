@@ -1,0 +1,253 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tokenpicker/internal/fleet"
+	"tokenpicker/internal/serve"
+	"tokenpicker/internal/train"
+)
+
+// newFleetTestServer boots a 2-replica fleet plus front-end.
+func newFleetTestServer(t *testing.T, cfg fleet.Config) (*train.Result, *fleet.Fleet, *httptest.Server) {
+	t.Helper()
+	r := train.TestModel()
+	fl := fleet.NewFleet(r.Params, cfg)
+	ts := httptest.NewServer(NewFleet(fl, Options{Model: "topick-test"}))
+	t.Cleanup(func() {
+		ts.Close()
+		fl.Close()
+	})
+	return r, fl, ts
+}
+
+func defaultFleetConfig() fleet.Config {
+	return fleet.Config{
+		Replicas: 2,
+		Affinity: true,
+		Serve:    serve.Config{Workers: 1, BlockRows: 16, SharePrefix: true},
+	}
+}
+
+func TestFleetCompletionMatchesSerialGreedy(t *testing.T) {
+	r, fl, ts := newFleetTestServer(t, defaultFleetConfig())
+	prompt := r.Held[:24]
+	const maxNew = 12
+	want := decodeGreedy(t, r.Params, prompt, maxNew)
+
+	pj, _ := json.Marshal(prompt)
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL, fmt.Sprintf(`{"prompt": %s, "max_tokens": %d, "user": "tenant-%d"}`, pj, maxNew, i%2))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if rid := resp.Header.Get("X-Request-ID"); rid == "" {
+			t.Fatal("response missing generated X-Request-ID")
+		}
+		var cr completionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		if len(cr.Choices) != 1 {
+			t.Fatalf("choices %d, want 1", len(cr.Choices))
+		}
+		got := cr.Choices[0].Tokens
+		if len(got) != len(want) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("request %d token %d: fleet %d != serial %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	rep := fl.Report()
+	if n := rep.Routing.Affinity + rep.Routing.Spilled + rep.Routing.Balanced; n != 3 {
+		t.Fatalf("router decisions %d, want 3 (%+v)", n, rep.Routing)
+	}
+	if rep.Routing.Affinity != 3 {
+		t.Fatalf("identical prompts should all route by affinity: %+v", rep.Routing)
+	}
+}
+
+func TestFleetRequestIDEcho(t *testing.T) {
+	r, _, ts := newFleetTestServer(t, defaultFleetConfig())
+	pj, _ := json.Marshal(r.Held[:8])
+
+	body := fmt.Sprintf(`{"prompt": %s, "max_tokens": 2}`, pj)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/completions", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "corr-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "corr-42" {
+		t.Fatalf("X-Request-ID echoed %q, want corr-42", got)
+	}
+
+	// Oversized ids are truncated, not rejected.
+	long := strings.Repeat("x", 300)
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/completions", strings.NewReader(body))
+	req2.Header.Set("X-Request-ID", long)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != long[:maxRequestIDLen] {
+		t.Fatalf("oversized id echoed %d bytes, want %d", len(got), maxRequestIDLen)
+	}
+}
+
+func TestFleetStatsAggregates(t *testing.T) {
+	r, fl, ts := newFleetTestServer(t, defaultFleetConfig())
+	pj, _ := json.Marshal(r.Held[:16])
+	resp := postJSON(t, ts.URL, fmt.Sprintf(`{"prompt": %s, "max_tokens": 4}`, pj))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	sr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer sr.Body.Close()
+	var fs fleetStatsResponse
+	if err := json.NewDecoder(sr.Body).Decode(&fs); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if fs.APIVersion != serve.APIVersion {
+		t.Fatalf("api_version %d, want %d", fs.APIVersion, serve.APIVersion)
+	}
+	if fs.Replicas != 2 || len(fs.ReplicaStats) != 2 {
+		t.Fatalf("replicas %d / replica_stats %d, want 2 / 2", fs.Replicas, len(fs.ReplicaStats))
+	}
+	// GenTokens counts decode steps; the first of the 4 tokens comes from
+	// the prefill pass.
+	if fs.Report.GenTokens != 3 {
+		t.Fatalf("rollup GenTokens %d, want 3", fs.Report.GenTokens)
+	}
+	var perReplica int64
+	for _, rb := range fs.ReplicaStats {
+		perReplica += rb.Report.GenTokens
+	}
+	if perReplica != fs.Report.GenTokens {
+		t.Fatalf("per-replica GenTokens %d != rollup %d", perReplica, fs.Report.GenTokens)
+	}
+	if n := fs.Routing.Affinity + fs.Routing.Spilled + fs.Routing.Balanced; n != 1 {
+		t.Fatalf("routing decisions %d, want 1 (%+v)", n, fs.Routing)
+	}
+
+	// Per-replica endpoints: valid ids answer, out-of-range 404s.
+	for i := 0; i < fl.Replicas(); i++ {
+		rr, err := http.Get(fmt.Sprintf("%s/v1/replicas/%d/stats", ts.URL, i))
+		if err != nil {
+			t.Fatalf("GET replica %d stats: %v", i, err)
+		}
+		var st statsResponse
+		if err := json.NewDecoder(rr.Body).Decode(&st); err != nil {
+			t.Fatalf("decode replica %d stats: %v", i, err)
+		}
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK || st.APIVersion != serve.APIVersion {
+			t.Fatalf("replica %d stats: status %d version %d", i, rr.StatusCode, st.APIVersion)
+		}
+		mr, err := http.Get(fmt.Sprintf("%s/v1/replicas/%d/metrics", ts.URL, i))
+		if err != nil {
+			t.Fatalf("GET replica %d metrics: %v", i, err)
+		}
+		mb, _ := io.ReadAll(mr.Body)
+		mr.Body.Close()
+		if !strings.Contains(string(mb), "topick_generated_tokens_total") {
+			t.Fatalf("replica %d metrics missing engine families", i)
+		}
+	}
+	bad, err := http.Get(ts.URL + "/v1/replicas/7/stats")
+	if err != nil {
+		t.Fatalf("GET bad replica: %v", err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range replica: status %d, want 404", bad.StatusCode)
+	}
+}
+
+func TestFleetMetricsExposition(t *testing.T) {
+	r, _, ts := newFleetTestServer(t, defaultFleetConfig())
+	pj, _ := json.Marshal(r.Held[:16])
+	resp := postJSON(t, ts.URL, fmt.Sprintf(`{"prompt": %s, "max_tokens": 4}`, pj))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"topick_fleet_routed_total",
+		"topick_fleet_replicas 2",
+		"topick_fleet_generated_tokens_total 4",
+		`topick_http_requests_total{route="/v1/completions",code="2xx"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// Engine families stay on the per-replica registries.
+	if strings.Contains(text, "\ntopick_generated_tokens_total") {
+		t.Fatal("/metrics leaked per-engine families into the fleet exposition")
+	}
+
+	// /v1/trace is a per-replica concept; fleet mode 404s.
+	tr, err := http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatalf("GET /v1/trace: %v", err)
+	}
+	io.Copy(io.Discard, tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/trace in fleet mode: status %d, want 404", tr.StatusCode)
+	}
+}
+
+func TestFleetRateLimitMapsTo429(t *testing.T) {
+	cfg := defaultFleetConfig()
+	cfg.TenantRate = 1 // burst 4: a single tiny request drains a tenant bucket
+	r, _, ts := newFleetTestServer(t, cfg)
+	pj, _ := json.Marshal(r.Held[:2])
+	body := fmt.Sprintf(`{"prompt": %s, "max_tokens": 1, "user": "alice"}`, pj)
+
+	resp := postJSON(t, ts.URL, body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over budget: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if ae.Error.Type != "rate_limit_error" {
+		t.Fatalf("error type %q, want rate_limit_error", ae.Error.Type)
+	}
+}

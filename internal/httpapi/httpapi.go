@@ -1,38 +1,51 @@
 // Package httpapi is the HTTP/SSE front-end of the serving engine: an
 // OpenAI-style completions endpoint over the transport-agnostic generation
-// API v2 (serve.GenerateRequest / serve.Stream / serve.Result).
+// API v2 (serve.GenerateRequest / serve.Stream / serve.Result), fronting
+// either one engine (New) or a replicated fleet (NewFleet).
 //
 // Routes:
 //
 //	POST /v1/completions — JSON completion request; blocking JSON response,
 //	     or Server-Sent Events when "stream": true (one JSON chunk per
 //	     token, a final chunk carrying finish_reason and usage, then the
-//	     literal "data: [DONE]" terminator).
+//	     literal "data: [DONE]" terminator). The OpenAI "user" field names
+//	     the tenant for fleet rate limiting; X-Request-ID is accepted (or
+//	     generated), echoed as a response header, and threaded into the
+//	     engine trace stream for cross-replica correlation.
 //	GET  /v1/stats       — engine Report (session/token counters, attention
 //	     transfer statistics, KV pool, prefix index, executor accounting)
 //	     plus TTFT / inter-token / queue-wait latency summaries, as JSON.
+//	     Fleet mode reports the router accounting, the fleet-wide rollup,
+//	     and every replica's report and latency block.
 //	GET  /v1/trace       — the newest lifecycle span events from the engine
-//	     tracer's ring buffer (404 when tracing is disabled).
+//	     tracer's ring buffer (404 when tracing is disabled; tracing is
+//	     per-replica and off in fleet mode).
+//	GET  /v1/replicas/{id}/stats   — one replica's engine report (fleet).
+//	GET  /v1/replicas/{id}/metrics — one replica's metric families (fleet).
 //	GET  /healthz        — liveness probe ("ok" once the engine accepts
 //	     requests); CI and load balancers poll it while the model warms up.
 //	GET  /readyz         — readiness probe: 200 "ready" normally, 503
 //	     "draining" after SetDraining(true) (the serve binary flips it on
 //	     SIGTERM so balancers stop routing here while in-flight sessions
 //	     run to completion).
-//	GET  /metrics        — the engine's metric families in the Prometheus
-//	     text exposition format.
+//	GET  /metrics        — metric families in the Prometheus text
+//	     exposition format: the engine registry, or in fleet mode the
+//	     topick_fleet_* registry (per-engine families live under
+//	     /v1/replicas/{id}/metrics).
 //
 // Every request is instrumented: per-route request counters by status
 // class, per-route latency histograms, and an in-flight gauge, all on the
-// engine's metrics registry.
+// fronted registry.
 //
 // Request validation failures map to 400 with the offending field,
-// admission backpressure (serve.ErrBusy) to 429, and a closed engine to
-// 503. A client disconnect cancels the session at its next scheduling
-// quantum via the request context.
+// admission backpressure (serve.ErrBusy — including fleet tenant rate
+// limits and fleet-wide admission) to 429 with Retry-After when known, and
+// a closed engine to 503. A client disconnect cancels the session at its
+// next scheduling quantum via the request context.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tokenpicker/internal/fleet"
 	"tokenpicker/internal/sample"
 	"tokenpicker/internal/serve"
 )
@@ -59,9 +73,10 @@ type Options struct {
 	MaxBodyBytes int64
 }
 
-// Handler serves the HTTP API over one engine.
+// Handler serves the HTTP API over one engine (New) or a fleet (NewFleet).
 type Handler struct {
-	engine   *serve.Server
+	engine   *serve.Server // single-engine mode; nil when fronting a fleet
+	fleet    *fleet.Fleet  // fleet mode; nil when fronting one engine
 	opts     Options
 	mux      *http.ServeMux
 	start    time.Time
@@ -72,14 +87,38 @@ type Handler struct {
 
 // New builds the front-end handler over a running engine.
 func New(engine *serve.Server, opts Options) *Handler {
+	h := newHandler(opts)
+	h.engine = engine
+	h.hm = newHTTPMetrics(engine.Metrics().Registry)
+	h.routes()
+	return h
+}
+
+// NewFleet builds the front-end over a replicated fleet. The HTTP families
+// and /metrics live on the fleet registry (topick_fleet_* plus topick_http_*);
+// each replica's full engine registry is exposed at
+// /v1/replicas/{id}/metrics, and /v1/stats aggregates every replica.
+func NewFleet(fl *fleet.Fleet, opts Options) *Handler {
+	h := newHandler(opts)
+	h.fleet = fl
+	h.hm = newHTTPMetrics(fl.Metrics().Registry)
+	h.routes()
+	h.mux.HandleFunc("GET /v1/replicas/{id}/stats", h.replicaStats)
+	h.mux.HandleFunc("GET /v1/replicas/{id}/metrics", h.replicaMetrics)
+	return h
+}
+
+func newHandler(opts Options) *Handler {
 	if opts.Model == "" {
 		opts.Model = "topick"
 	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 1 << 20
 	}
-	h := &Handler{engine: engine, opts: opts, mux: http.NewServeMux(), start: time.Now()}
-	h.hm = newHTTPMetrics(engine.Metrics().Registry)
+	return &Handler{opts: opts, mux: http.NewServeMux(), start: time.Now()}
+}
+
+func (h *Handler) routes() {
 	h.mux.HandleFunc("POST /v1/completions", h.completions)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /v1/trace", h.traceTail)
@@ -89,7 +128,6 @@ func New(engine *serve.Server, opts Options) *Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return h
 }
 
 // ServeHTTP implements http.Handler, wrapping every route in the metrics
@@ -125,6 +163,10 @@ type completionRequest struct {
 	Stop              [][]int            `json:"stop"`
 	LogitBias         map[string]float32 `json:"logit_bias"`
 	Stream            bool               `json:"stream"`
+	// User is the OpenAI end-user identifier; fleet mode buckets per-tenant
+	// rate limits by it (empty = the anonymous bucket). Single-engine mode
+	// accepts and ignores it.
+	User string `json:"user"`
 }
 
 // completionResponse is both the blocking response and the SSE chunk shape.
@@ -136,8 +178,12 @@ type completionResponse struct {
 	Choices []choice `json:"choices"`
 	Usage   *usage   `json:"usage,omitempty"`
 	// Error carries the terminal engine error on the final SSE chunk of a
-	// failed stream (the HTTP status was already committed as 200).
-	Error string `json:"error,omitempty"`
+	// failed stream (the HTTP status was already committed as 200), and
+	// RequestID echoes the request's correlation id alongside it so a
+	// mid-stream failure can be chased through the trace stream even by
+	// clients that dropped the X-Request-ID response header.
+	Error     string `json:"error,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type choice struct {
@@ -182,14 +228,23 @@ func (h *Handler) writeError(w http.ResponseWriter, status int, typ, field, msg 
 }
 
 // submitError maps an engine admission failure to a transport status.
+// Fleet rejections need no cases of their own: tenant rate limits and
+// fleet-wide saturation match serve.ErrBusy, a closed fleet matches
+// serve.ErrServerClosed.
 func (h *Handler) submitError(w http.ResponseWriter, err error) {
 	var ve *serve.ValidationError
+	var rle *fleet.RateLimitError
 	switch {
 	case errors.As(err, &ve):
 		h.writeError(w, http.StatusBadRequest, "invalid_request_error", ve.Field, ve.Error())
 	case errors.Is(err, serve.ErrInvalidRequest) || errors.Is(err, sample.ErrInvalidConfig):
 		h.writeError(w, http.StatusBadRequest, "invalid_request_error", "", err.Error())
 	case errors.Is(err, serve.ErrBusy):
+		if errors.As(err, &rle) && rle.RetryAfter > 0 {
+			// Ceil to whole seconds: Retry-After is integral, and rounding
+			// down would invite a retry that is rate-limited again.
+			w.Header().Set("Retry-After", strconv.FormatInt(int64((rle.RetryAfter+time.Second-1)/time.Second), 10))
+		}
 		h.writeError(w, http.StatusTooManyRequests, "rate_limit_error", "", err.Error())
 	case errors.Is(err, serve.ErrServerClosed):
 		h.writeError(w, http.StatusServiceUnavailable, "server_error", "", err.Error())
@@ -239,16 +294,23 @@ func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, http.StatusBadRequest, "invalid_request_error", "logit_bias", err.Error())
 		return
 	}
+	// Correlation id: the client's X-Request-ID, or a generated one. It is
+	// echoed as a response header on every outcome — including submit
+	// rejections — and its hash rides the session's trace events, so one
+	// request can be followed across fleet replicas.
+	rid := h.requestID(r)
+	req.RequestID = rid
+	w.Header().Set("X-Request-ID", rid)
 	// The request context carries the client connection: a disconnect
 	// cancels the session engine-side at its next scheduling quantum.
-	st, err := h.engine.Submit(r.Context(), req)
+	st, err := h.submit(r.Context(), req, cr.User)
 	if err != nil {
 		h.submitError(w, err)
 		return
 	}
 	id := fmt.Sprintf("cmpl-%d-%d", h.start.UnixNano(), h.nextID.Add(1))
 	if cr.Stream {
-		h.streamCompletion(w, st, id)
+		h.streamCompletion(w, st, id, rid)
 		return
 	}
 
@@ -276,9 +338,34 @@ func (h *Handler) completions(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// maxRequestIDLen bounds an accepted X-Request-ID; longer values are
+// truncated rather than rejected, keeping the id usable for correlation
+// without letting a client grow trace events without bound.
+const maxRequestIDLen = 128
+
+// requestID returns the client's X-Request-ID, truncated to
+// maxRequestIDLen, or generates one.
+func (h *Handler) requestID(r *http.Request) string {
+	if rid := r.Header.Get("X-Request-ID"); rid != "" {
+		if len(rid) > maxRequestIDLen {
+			rid = rid[:maxRequestIDLen]
+		}
+		return rid
+	}
+	return fmt.Sprintf("req-%d-%d", h.start.UnixNano(), h.nextID.Add(1))
+}
+
+// submit dispatches to the fronted engine or fleet.
+func (h *Handler) submit(ctx context.Context, req serve.GenerateRequest, tenant string) (*serve.Stream, error) {
+	if h.fleet != nil {
+		return h.fleet.Submit(ctx, fleet.Request{GenerateRequest: req, Tenant: tenant})
+	}
+	return h.engine.Submit(ctx, req)
+}
+
 // streamCompletion writes the SSE variant: one chunk per event, a final
 // chunk with the finish reason and usage, then the [DONE] terminator.
-func (h *Handler) streamCompletion(w http.ResponseWriter, st *serve.Stream, id string) {
+func (h *Handler) streamCompletion(w http.ResponseWriter, st *serve.Stream, id, rid string) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		st.Cancel()
@@ -315,6 +402,7 @@ func (h *Handler) streamCompletion(w http.ResponseWriter, st *serve.Stream, id s
 		// error (pool rejection, cancellation cause) rides the final chunk
 		// so SSE clients can distinguish failure from a clean finish.
 		final.Error = res.Err.Error()
+		final.RequestID = rid
 	}
 	writeChunk(final)
 	fmt.Fprint(w, "data: [DONE]\n\n")
@@ -371,12 +459,94 @@ type statsResponse struct {
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if h.fleet != nil {
+		h.fleetStats(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsResponse{
 		Model:         h.opts.Model,
 		APIVersion:    serve.APIVersion,
 		UptimeSeconds: time.Since(h.start).Seconds(),
 		Report:        h.engine.Report(),
-		Latency:       h.latency(),
+		Latency:       latencyOf(h.engine.Metrics()),
 	})
+}
+
+// replicaBlock is one replica's member of the fleet /v1/stats body: its full
+// engine report plus its own latency digests.
+type replicaBlock struct {
+	Report  serve.Report `json:"report"`
+	Latency latencyBlock `json:"latency"`
+}
+
+// fleetStatsResponse is the GET /v1/stats body in fleet mode. The "report"
+// member keeps the single-engine shape — the rollup across replicas — so
+// dashboards built against one engine keep reading; the router accounting
+// and the per-replica breakdown ride alongside.
+type fleetStatsResponse struct {
+	Model         string             `json:"model"`
+	APIVersion    int                `json:"api_version"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Replicas      int                `json:"replicas"`
+	Routing       fleet.RoutingStats `json:"routing"`
+	Report        serve.Report       `json:"report"`
+	ReplicaStats  []replicaBlock     `json:"replica_stats"`
+}
+
+func (h *Handler) fleetStats(w http.ResponseWriter) {
+	rep := h.fleet.Report()
+	resp := fleetStatsResponse{
+		Model:         h.opts.Model,
+		APIVersion:    serve.APIVersion,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Replicas:      h.fleet.Replicas(),
+		Routing:       rep.Routing,
+		Report:        rep.Rollup(),
+		ReplicaStats:  make([]replicaBlock, len(rep.Replicas)),
+	}
+	for i := range rep.Replicas {
+		resp.ReplicaStats[i] = replicaBlock{
+			Report:  rep.Replicas[i],
+			Latency: latencyOf(h.fleet.Replica(i).Metrics()),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// replica resolves the {id} path segment of a /v1/replicas route; on a bad
+// id it writes the 404 and returns false.
+func (h *Handler) replica(w http.ResponseWriter, r *http.Request) (*serve.Server, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= h.fleet.Replicas() {
+		h.writeError(w, http.StatusNotFound, "invalid_request_error", "id",
+			fmt.Sprintf("replica id must be an integer in [0,%d)", h.fleet.Replicas()))
+		return nil, false
+	}
+	return h.fleet.Replica(id), true
+}
+
+func (h *Handler) replicaStats(w http.ResponseWriter, r *http.Request) {
+	rep, ok := h.replica(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsResponse{
+		Model:         h.opts.Model,
+		APIVersion:    serve.APIVersion,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Report:        rep.Report(),
+		Latency:       latencyOf(rep.Metrics()),
+	})
+}
+
+func (h *Handler) replicaMetrics(w http.ResponseWriter, r *http.Request) {
+	rep, ok := h.replica(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rep.Metrics().Registry.WritePrometheus(w)
 }

@@ -6,15 +6,18 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"tokenpicker/internal/obs"
+	"tokenpicker/internal/serve"
 )
 
 // instrumentedRoutes is the fixed label set of the per-route HTTP families;
 // anything else aggregates under "other" so an URL-scanning crawler cannot
-// mint unbounded series.
+// mint unbounded series. Every /v1/replicas/{id}/... path normalizes to the
+// one "/v1/replicas" label for the same reason.
 var instrumentedRoutes = []string{
-	"/v1/completions", "/v1/stats", "/v1/trace", "/healthz", "/readyz", "/metrics",
+	"/v1/completions", "/v1/stats", "/v1/trace", "/v1/replicas", "/healthz", "/readyz", "/metrics",
 }
 
 // routeMetrics is one route's request accounting: status-class counters and
@@ -68,6 +71,9 @@ func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
 }
 
 func (hm *httpMetrics) route(path string) *routeMetrics {
+	if strings.HasPrefix(path, "/v1/replicas/") {
+		path = "/v1/replicas"
+	}
 	if rm, ok := hm.routes[path]; ok {
 		return rm
 	}
@@ -134,6 +140,10 @@ func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if h.fleet != nil {
+		h.fleet.Metrics().Registry.WritePrometheus(w)
+		return
+	}
 	h.engine.Metrics().Registry.WritePrometheus(w)
 }
 
@@ -141,6 +151,14 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 // the engine tracer's ring, each in the JSONL wire shape, wrapped in one
 // JSON object with the schema version and the epoch T is measured from.
 func (h *Handler) traceTail(w http.ResponseWriter, r *http.Request) {
+	if h.fleet != nil {
+		// Fleet config forbids a shared tracer (replica session ids would
+		// collide in one timeline); correlate across replicas with
+		// X-Request-ID and the "rid" trace field instead.
+		h.writeError(w, http.StatusNotFound, "invalid_request_error", "",
+			"tracing is per-replica and disabled in fleet mode")
+		return
+	}
 	tr := h.engine.Tracer()
 	if tr == nil {
 		h.writeError(w, http.StatusNotFound, "invalid_request_error", "",
@@ -199,8 +217,7 @@ type latencyBlock struct {
 	QueueWait  latencySummary `json:"queue_wait"`
 }
 
-func (h *Handler) latency() latencyBlock {
-	m := h.engine.Metrics()
+func latencyOf(m *serve.Metrics) latencyBlock {
 	return latencyBlock{
 		TTFT:       summarize(m.TTFT),
 		InterToken: summarize(m.InterToken),

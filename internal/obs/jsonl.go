@@ -16,11 +16,14 @@ import (
 //
 //	{"sid":3,"kind":"decode_step","t_ns":18000321,"step":7,"tokens":1,
 //	 "rows":103,"batch":2,"queue":4,"stalled":0,"pool_inuse":52,
-//	 "pool_free":3,"detail":0}
+//	 "pool_free":3,"detail":0,"rid":9129335182957815321}
 //
 // TraceSchemaVersion identifies this layout; it rides the header line
-// emitted by NewJSONLWriter ({"trace_schema":1}).
-const TraceSchemaVersion = 1
+// emitted by NewJSONLWriter ({"trace_schema":2}). Version 2 added the
+// "rid" field (the request-id hash correlating one request across fleet
+// replicas); ParseTrace still reads version-1 traces, where rid is absent
+// and decodes to zero.
+const TraceSchemaVersion = 2
 
 // AppendEvent appends ev's JSONL line (newline included) to dst and returns
 // the extended slice. Allocation-free once dst has capacity.
@@ -51,6 +54,8 @@ func AppendEvent(dst []byte, ev Event) []byte {
 	dst = strconv.AppendInt(dst, int64(ev.Free), 10)
 	dst = append(dst, `,"detail":`...)
 	dst = strconv.AppendInt(dst, int64(ev.Detail), 10)
+	dst = append(dst, `,"rid":`...)
+	dst = strconv.AppendUint(dst, ev.ReqID, 10)
 	dst = append(dst, '}', '\n')
 	return dst
 }
@@ -110,6 +115,7 @@ type wireEvent struct {
 	InUse   int32  `json:"pool_inuse"`
 	Free    int32  `json:"pool_free"`
 	Detail  int32  `json:"detail"`
+	Rid     uint64 `json:"rid"`
 }
 
 type traceHeader struct {
@@ -135,8 +141,8 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 			if err := json.Unmarshal(raw, &hdr); err != nil {
 				return nil, fmt.Errorf("obs: trace header: %w", err)
 			}
-			if hdr.Schema != TraceSchemaVersion {
-				return nil, fmt.Errorf("obs: trace schema %d, this parser reads %d", hdr.Schema, TraceSchemaVersion)
+			if hdr.Schema != TraceSchemaVersion && hdr.Schema != 1 {
+				return nil, fmt.Errorf("obs: trace schema %d, this parser reads 1..%d", hdr.Schema, TraceSchemaVersion)
 			}
 			continue
 		}
@@ -151,7 +157,7 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 			return nil, fmt.Errorf("obs: trace line %d: unknown kind %q", line, we.Kind)
 		}
 		events = append(events, Event{
-			Session: we.Sid, Kind: kind, T: we.TNs,
+			Session: we.Sid, ReqID: we.Rid, Kind: kind, T: we.TNs,
 			Step: we.Step, Tokens: we.Tokens, Rows: we.Rows,
 			Batch: we.Batch, Queue: we.Queue, Stalled: we.Stalled,
 			InUse: we.InUse, Free: we.Free, Detail: we.Detail,

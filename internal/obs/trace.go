@@ -108,6 +108,7 @@ func KindFromString(s string) Kind {
 // parked sessions, and KV pool occupancy.
 type Event struct {
 	Session uint64 // engine-assigned session id, 1-based
+	ReqID   uint64 // caller-supplied request id hash (0 = none); correlates a request across replicas
 	Kind    Kind
 	T       int64 // nanoseconds since the tracer epoch (monotonic clock)
 	Step    int32 // tokens emitted so far

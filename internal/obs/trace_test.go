@@ -10,8 +10,8 @@ import (
 // adopts a prefix, is preempted once, resumes, and finishes.
 func synthTrace(t *Tracer) {
 	rec := func(ev Event) { t.Record(ev) }
-	rec(Event{Session: 1, Kind: KindSubmit})
-	rec(Event{Session: 1, Kind: KindQueued})
+	rec(Event{Session: 1, Kind: KindSubmit, ReqID: 0x9e3779b97f4a7c15})
+	rec(Event{Session: 1, Kind: KindQueued, ReqID: 0x9e3779b97f4a7c15})
 	rec(Event{Session: 2, Kind: KindSubmit})
 	rec(Event{Session: 2, Kind: KindPrefixAdopt, Tokens: 32})
 	rec(Event{Session: 2, Kind: KindQueued})
@@ -98,8 +98,8 @@ func TestJSONLRoundTrip(t *testing.T) {
 
 func TestParseTraceRejectsSchemaDrift(t *testing.T) {
 	cases := map[string]string{
-		"unknown field":  `{"sid":1,"kind":"submit","t_ns":0,"step":0,"tokens":0,"rows":0,"batch":0,"queue":0,"stalled":0,"pool_inuse":0,"pool_free":0,"detail":0,"surprise":1}`,
-		"unknown kind":   `{"sid":1,"kind":"teleport","t_ns":0,"step":0,"tokens":0,"rows":0,"batch":0,"queue":0,"stalled":0,"pool_inuse":0,"pool_free":0,"detail":0}`,
+		"unknown field":  `{"sid":1,"kind":"submit","t_ns":0,"step":0,"tokens":0,"rows":0,"batch":0,"queue":0,"stalled":0,"pool_inuse":0,"pool_free":0,"detail":0,"rid":0,"surprise":1}`,
+		"unknown kind":   `{"sid":1,"kind":"teleport","t_ns":0,"step":0,"tokens":0,"rows":0,"batch":0,"queue":0,"stalled":0,"pool_inuse":0,"pool_free":0,"detail":0,"rid":0}`,
 		"future schema":  `{"trace_schema":999}`,
 		"malformed line": `{"sid":`,
 	}
@@ -107,6 +107,20 @@ func TestParseTraceRejectsSchemaDrift(t *testing.T) {
 		if _, err := ParseTrace(strings.NewReader(line + "\n")); err == nil {
 			t.Errorf("%s: parser accepted %q", name, line)
 		}
+	}
+}
+
+// Schema-1 traces predate the "rid" field; the parser must keep reading
+// them (rid decodes to zero).
+func TestParseTraceAcceptsSchemaV1(t *testing.T) {
+	trace := "{\"trace_schema\":1}\n" +
+		`{"sid":1,"kind":"submit","t_ns":0,"step":0,"tokens":0,"rows":0,"batch":0,"queue":0,"stalled":0,"pool_inuse":0,"pool_free":0,"detail":0}` + "\n"
+	events, err := ParseTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("schema-1 trace rejected: %v", err)
+	}
+	if len(events) != 1 || events[0].ReqID != 0 || events[0].Kind != KindSubmit {
+		t.Fatalf("schema-1 trace misread: %+v", events)
 	}
 }
 

@@ -21,7 +21,10 @@ import (
 // package implements; it only moves on incompatible redesigns. Version 3
 // added the observability surface: latency summaries on /v1/stats, the
 // /metrics, /readyz, and /v1/trace endpoints, and the Report.Exec field.
-const APIVersion = 3
+// Version 4 added fleet serving: the aggregated per-replica /v1/stats shape,
+// the /v1/replicas/{id}/... endpoints, X-Request-ID echo, and the "rid"
+// trace field (trace schema 2).
+const APIVersion = 4
 
 // ErrInvalidRequest is the sentinel every *ValidationError matches with
 // errors.Is; transports map it to a 400-class failure.
@@ -71,6 +74,11 @@ type GenerateRequest struct {
 	// emitted when the match completes (token streams cannot retract), so
 	// consumers that want them hidden drop Result.StopTokens from the tail.
 	Stop [][]int
+	// RequestID is an optional caller-supplied correlation id. Its FNV hash
+	// rides every trace event of the session (obs.Event.ReqID), so one
+	// request can be followed across replicas in a fleet; it never affects
+	// generation.
+	RequestID string
 }
 
 // Validate checks the vocabulary-independent request invariants and

@@ -94,6 +94,31 @@ func chunkHash(h uint64, tokens []int) uint64 {
 	return h
 }
 
+// PrefixKey chain-hashes the leading full blockRows-sized chunks of prompt —
+// the same FNV-1a chain the prefix index keys its entries by — and reports
+// how many full chunks the key covers, capped at maxChunks when positive.
+// Prompts that share their leading chunks share the key, so a fleet router
+// can rendezvous-hash it to land them on the replica whose prefix index
+// already caches those KV blocks. chunks is 0 (and the key is the bare FNV
+// offset basis) when the prompt has no full chunk; blockRows <= 0 falls back
+// to the engine default.
+//
+//topick:noalloc
+func PrefixKey(prompt []int, blockRows, maxChunks int) (key uint64, chunks int) {
+	if blockRows <= 0 {
+		blockRows = defaultBlockRows
+	}
+	n := len(prompt) / blockRows
+	if maxChunks > 0 && n > maxChunks {
+		n = maxChunks
+	}
+	h := fnvOffset
+	for c := 0; c < n; c++ {
+		h = chunkHash(h, prompt[c*blockRows:(c+1)*blockRows])
+	}
+	return h, n
+}
+
 func equalTokens(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

@@ -386,6 +386,126 @@ func TestPreemptMultiWorkerUnderPressure(t *testing.T) {
 	}
 }
 
+// TestPrefixCollisionLeavesResidentEntry forces the chain-hash collision /
+// orphaned-chain branch of publish and walk: a resident entry sits at the
+// exact chain hash a prompt's first chunk produces, but holds different
+// tokens. The structural checks must refuse to splice it — publish leaves
+// the resident entry alone (no overwrite, nothing published over it), walk
+// refuses adoption — and the sessions' tokens must still match the serial
+// reference exactly.
+func TestPrefixCollisionLeavesResidentEntry(t *testing.T) {
+	r := train.TestModel()
+	cfg := r.Params.Cfg
+	const (
+		blockRows = 8
+		maxNew    = 12
+	)
+	prompt := r.Held[:blockRows+4] // one full chunk + a 4-row tail
+
+	srv := NewServer(r.Params, Config{
+		Workers:     1,
+		BlockRows:   blockRows,
+		SharePrefix: true,
+		NewKernel:   func() model.Kernel { return attention.NewQuantizedExact() },
+	})
+
+	// Plant an impostor at the prompt's first-chunk chain hash, with tokens
+	// that cannot match (shifted mod vocab). It holds no pool blocks, so the
+	// refcount drain check below also proves nothing ever retained through it.
+	h := chunkHash(fnvOffset, prompt[:blockRows])
+	impostorTokens := make([]int, blockRows)
+	for i, tok := range prompt[:blockRows] {
+		impostorTokens[i] = (tok + 1) % cfg.VocabSize
+	}
+	impostor := &prefixEntry{key: h, depth: 1, tokens: append([]int(nil), impostorTokens...)}
+	srv.prefixes.mu.Lock()
+	srv.prefixes.entries[h] = impostor
+	srv.prefixes.mu.Unlock()
+
+	want := decodeSerial(t, r.Params, attention.NewQuantizedExact(), prompt, maxNew)
+	for sess := 0; sess < 2; sess++ {
+		st, err := srv.Submit(context.Background(), GenerateRequest{Prompt: prompt, MaxTokens: maxNew})
+		if err != nil {
+			t.Fatalf("submit %d: %v", sess, err)
+		}
+		var got []int
+		for ev := range st.Events() {
+			got = append(got, ev.Token)
+		}
+		if res := st.Result(); res.Reason != ReasonLength || res.Err != nil {
+			t.Fatalf("session %d finished %q err=%v", sess, res.Reason, res.Err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("session %d emitted %d tokens, want %d", sess, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("session %d token %d: collision run %d != serial %d", sess, j, got[j], want[j])
+			}
+		}
+	}
+	srv.Close()
+
+	// The resident entry survived both publish attempts untouched: same
+	// object (Close's evictAll emptied the map, so check the pre-Close
+	// capture), and publish never replaced or mutated it.
+	srv.prefixes.mu.Lock()
+	stats := srv.prefixes.stats
+	srv.prefixes.mu.Unlock()
+	if impostor.depth != 1 || impostor.parent != nil || !equalTokens(impostor.tokens, impostorTokens) {
+		t.Fatalf("resident entry mutated across collision: %+v", impostor)
+	}
+	if stats.Published != 0 {
+		t.Fatalf("collision branch still published %d entries over the resident chain", stats.Published)
+	}
+	if stats.Hits != 0 || stats.RowsReused != 0 {
+		t.Fatalf("colliding entry was adopted: %+v", stats)
+	}
+	if st := srv.Pool().Stats(); st.InUse != 0 {
+		t.Fatalf("%d blocks still referenced after drain", st.InUse)
+	}
+}
+
+// TestPrefixKey pins the router-facing chain-hash contract: equality for
+// prompts sharing their leading full chunks, the maxChunks cap, divergence
+// past the cap being invisible, and the no-full-chunk degenerate case.
+func TestPrefixKey(t *testing.T) {
+	base := testTokens(70, 3, 50)
+	const B = 16
+
+	keyA, chunksA := PrefixKey(base, B, 4)
+	if chunksA != 4 {
+		t.Fatalf("70 tokens at blockRows 16: %d chunks, want 4", chunksA)
+	}
+	// Same leading chunks, different tail: same key.
+	shared := append(append([]int(nil), base[:64]...), 1, 2, 3)
+	if keyB, chunksB := PrefixKey(shared, B, 4); keyB != keyA || chunksB != 4 {
+		t.Fatalf("shared-prefix prompt keyed differently: %d/%d vs %d/%d", keyB, chunksB, keyA, chunksA)
+	}
+	// Divergence inside the hashed window: different key.
+	div := append([]int(nil), base...)
+	div[10] = (div[10] + 1) % 50
+	if keyC, _ := PrefixKey(div, B, 4); keyC == keyA {
+		t.Fatalf("divergent chunk collided with the base key")
+	}
+	// The cap hides divergence past it.
+	late := append([]int(nil), base...)
+	late[40] = (late[40] + 1) % 50 // chunk 3 of 4
+	if keyD, chunksD := PrefixKey(late, B, 2); chunksD != 2 {
+		t.Fatalf("cap 2 hashed %d chunks", chunksD)
+	} else if keyE, _ := PrefixKey(base, B, 2); keyD != keyE {
+		t.Fatalf("divergence past the cap changed the key")
+	}
+	// The key must agree with the chain hash the index itself computes.
+	if wantH := chunkHash(fnvOffset, base[:B]); func() uint64 { k, _ := PrefixKey(base, B, 1); return k }() != wantH {
+		t.Fatalf("PrefixKey disagrees with the index chain hash")
+	}
+	// No full chunk: zero chunks, offset-basis key.
+	if k, n := PrefixKey(base[:B-1], B, 4); n != 0 || k != fnvOffset {
+		t.Fatalf("sub-chunk prompt: key %d chunks %d, want offset basis and 0", k, n)
+	}
+}
+
 // TestPreemptionDisabledRejects restores the pre-preemption contract with
 // MaxPreempts < 0: pool exhaustion finishes the session ReasonRejected.
 func TestPreemptionDisabledRejects(t *testing.T) {

@@ -173,6 +173,10 @@ type SpeculateConfig struct {
 	NewDraft func() model.DraftSource
 }
 
+// defaultBlockRows is the KV pool block granularity when Config.BlockRows is
+// unset; PrefixKey falls back to it so router and index agree on chunking.
+const defaultBlockRows = 32
+
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
@@ -187,7 +191,7 @@ func (c Config) withDefaults() Config {
 		c.PromptChunk = 32
 	}
 	if c.BlockRows <= 0 {
-		c.BlockRows = 32
+		c.BlockRows = defaultBlockRows
 	}
 	if c.DefaultMaxNew <= 0 {
 		c.DefaultMaxNew = 64
@@ -225,6 +229,7 @@ type Result struct {
 // session is one admitted request moving through the scheduler.
 type session struct {
 	id        uint64 // 1-based admission sequence, the trace session id
+	rid       uint64 // FNV hash of the request's RequestID (0 = none)
 	ctx       context.Context
 	cancel    context.CancelFunc // releases the session's derived context
 	req       GenerateRequest
@@ -399,6 +404,42 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // tracing is disabled.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// MaxSessions returns the server's admission bound after defaulting — the
+// saturation threshold a fleet router spills at.
+func (s *Server) MaxSessions() int { return s.cfg.MaxSessions }
+
+// DefaultMaxNew returns the effective generation budget of requests that
+// leave MaxTokens zero, after defaulting.
+func (s *Server) DefaultMaxNew() int { return s.cfg.DefaultMaxNew }
+
+// ActiveSessions returns how many admitted sessions have not yet finished:
+// a single locked point read (no allocation), cheap enough for a fleet
+// router to poll on every routing decision.
+//
+//topick:noalloc
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	n := s.active
+	s.mu.Unlock()
+	return n
+}
+
+// hashRequestID folds a caller-supplied request id into the uint64 that
+// rides trace events (FNV-1a over the raw bytes; empty id hashes to 0 =
+// "none"). The same id hashes identically on every replica, which is what
+// makes multi-replica trace correlation work.
+func hashRequestID(id string) uint64 {
+	if id == "" {
+		return 0
+	}
+	h := fnvOffset
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
 // execStats sums the slot accounting of every worker's head executor.
 func (s *Server) execStats() exec.SlotStats {
 	var total exec.SlotStats
@@ -419,6 +460,7 @@ func (s *Server) trace(sess *session, kind obs.Kind, step, tokens, rows, detail 
 	ps := s.pool.Stats()
 	s.tracer.Record(obs.Event{
 		Session: sess.id,
+		ReqID:   sess.rid,
 		Kind:    kind,
 		Step:    step,
 		Tokens:  tokens,
@@ -500,6 +542,7 @@ func (s *Server) Submit(ctx context.Context, req GenerateRequest) (*Stream, erro
 	events := make(chan Event, buf)
 	sess := &session{
 		id:        id,
+		rid:       hashRequestID(req.RequestID),
 		ctx:       sctx,
 		cancel:    cancel,
 		req:       req,

@@ -63,6 +63,7 @@ import (
 	"tokenpicker/internal/core"
 	"tokenpicker/internal/exec"
 	"tokenpicker/internal/fixed"
+	"tokenpicker/internal/fleet"
 	"tokenpicker/internal/httpapi"
 	"tokenpicker/internal/model"
 	"tokenpicker/internal/obs"
@@ -211,10 +212,15 @@ var ErrContextFull = model.ErrContextFull
 // Serving API sentinels: ErrInvalidRequest matches every request
 // validation failure (errors.Is), ErrStreamDone ends a ServeStream.Next
 // pull loop, ErrInvalidSampling matches every sampling-config failure.
+// ErrBusy matches every admission backpressure rejection — engine
+// saturation, fleet-wide admission, and tenant rate limits — and
+// ErrServerClosed every submit after Close.
 var (
 	ErrInvalidRequest  = serve.ErrInvalidRequest
 	ErrInvalidSampling = sample.ErrInvalidConfig
 	ErrStreamDone      = serve.ErrStreamDone
+	ErrBusy            = serve.ErrBusy
+	ErrServerClosed    = serve.ErrServerClosed
 )
 
 // NewSampler builds the composable sampler chain for a validated sampling
@@ -238,6 +244,46 @@ type HTTPHandler = httpapi.Handler
 // (readiness/draining). Serve it with net/http.
 func NewHTTPHandler(srv *Server, opts HTTPOptions) *HTTPHandler {
 	return httpapi.New(srv, opts)
+}
+
+// Fleet serving types (engine replication with prefix-affinity routing).
+type (
+	// Fleet fronts N independent Server replicas with prefix-affinity
+	// rendezvous routing, per-tenant token-rate limits, and fleet-wide
+	// admission control; token streams stay bit-identical to a single
+	// engine.
+	Fleet = fleet.Fleet
+	// FleetConfig sizes a Fleet: replica count, affinity routing, spill
+	// margin, tenant rate limits, and the per-replica engine template.
+	FleetConfig = fleet.Config
+	// FleetRequest is a GenerateRequest plus the tenant identity the rate
+	// limiter buckets by.
+	FleetRequest = fleet.Request
+	// FleetReport is the fleet-wide snapshot: per-replica engine reports
+	// plus router accounting; Rollup folds it into one ServeReport.
+	FleetReport = fleet.Report
+	// FleetRoutingStats is the router-side accounting (affinity / spilled /
+	// balanced admissions, rate-limit and admission rejections).
+	FleetRoutingStats = fleet.RoutingStats
+	// FleetMetrics is the fleet's own registry: topick_fleet_* families.
+	FleetMetrics = fleet.Metrics
+	// FleetRateLimitError reports a tenant over its token budget; it
+	// matches ErrBusy so transports keep their 429 mapping.
+	FleetRateLimitError = fleet.RateLimitError
+)
+
+// NewFleet builds and starts a replica fleet over shared read-only params.
+// The config must be valid (FleetConfig.Validate); NewFleet panics
+// otherwise.
+func NewFleet(p *Params, cfg FleetConfig) *Fleet { return fleet.NewFleet(p, cfg) }
+
+// NewFleetHTTPHandler wraps a Fleet in the same OpenAI-style HTTP API as
+// NewHTTPHandler, plus the fleet surface: aggregated per-replica
+// GET /v1/stats, GET /v1/replicas/{id}/stats and /metrics, tenant rate
+// limiting keyed by the request's "user" field, and X-Request-ID
+// correlation across replicas.
+func NewFleetHTTPHandler(fl *Fleet, opts HTTPOptions) *HTTPHandler {
+	return httpapi.NewFleet(fl, opts)
 }
 
 // Observability types (engine-wide metrics and lifecycle tracing).
